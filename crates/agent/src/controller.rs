@@ -1,0 +1,92 @@
+//! The driver abstraction shared by the expert, the neural agent, and the
+//! fault-injecting wrappers in `avfi-core`.
+
+use crate::features::{image_to_tensor, normalize_speed};
+use crate::ilnet::IlNetwork;
+use avfi_sim::physics::VehicleControl;
+use avfi_sim::world::{World, WorldObservation};
+
+/// Everything a driver may look at for one frame.
+///
+/// The *neural* driver must only read `obs` — the sensor payload that fault
+/// injectors corrupt. The *expert* additionally reads ground truth through
+/// `world` (it stands in for a perfect-perception oracle). Keeping both in
+/// one struct lets the campaign runner treat all drivers uniformly.
+#[derive(Debug)]
+pub struct DriverInput<'a> {
+    /// The (possibly fault-injected) observation from the server.
+    pub obs: &'a WorldObservation,
+    /// Ground-truth world access (oracle drivers only).
+    pub world: &'a World,
+}
+
+/// A closed-loop driving policy.
+pub trait Driver {
+    /// Computes the actuation command for one frame.
+    fn drive(&mut self, input: &DriverInput<'_>) -> VehicleControl;
+
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The neural (conditional imitation) driver: camera + speed + command in,
+/// control out. Reads only the observation.
+#[derive(Debug)]
+pub struct NeuralDriver {
+    net: IlNetwork,
+}
+
+impl NeuralDriver {
+    /// Wraps a (trained) network.
+    pub fn new(net: IlNetwork) -> Self {
+        NeuralDriver { net }
+    }
+
+    /// The underlying network (for ML fault injection).
+    pub fn network_mut(&mut self) -> &mut IlNetwork {
+        &mut self.net
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &IlNetwork {
+        &self.net
+    }
+}
+
+impl Driver for NeuralDriver {
+    fn drive(&mut self, input: &DriverInput<'_>) -> VehicleControl {
+        let image = image_to_tensor(&input.obs.sensors.image);
+        let speed = normalize_speed(input.obs.sensors.speed);
+        self.net.predict(&image, speed, input.obs.command)
+    }
+
+    fn name(&self) -> &'static str {
+        "il-cnn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avfi_sim::scenario::{Scenario, TownSpec};
+
+    #[test]
+    fn neural_driver_produces_sane_controls_untrained() {
+        let scenario = Scenario::builder(TownSpec::grid(2, 2))
+            .seed(3)
+            .npc_vehicles(0)
+            .pedestrians(0)
+            .build();
+        let mut world = World::from_scenario(&scenario);
+        let obs = world.observe();
+        let mut driver = NeuralDriver::new(IlNetwork::new(7));
+        let c = driver.drive(&DriverInput {
+            obs: &obs,
+            world: &world,
+        });
+        assert!(c.steer.abs() <= 1.0);
+        assert!((0.0..=1.0).contains(&c.throttle));
+        assert!((0.0..=1.0).contains(&c.brake));
+        assert_eq!(driver.name(), "il-cnn");
+    }
+}

@@ -1,0 +1,158 @@
+//! Closed-loop evaluation helpers: run a driver through missions and
+//! summarize driving quality (used by training loops, examples and tests;
+//! the full fault-injection campaign machinery lives in `avfi-core`).
+
+use crate::controller::{Driver, DriverInput};
+use avfi_sim::scenario::Scenario;
+use avfi_sim::violation::ViolationKind;
+use avfi_sim::world::{MissionStatus, World};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Outcome of one evaluated mission.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MissionReport {
+    /// Scenario seed.
+    pub seed: u64,
+    /// Final status.
+    pub status: MissionStatus,
+    /// Distance driven, meters.
+    pub distance: f64,
+    /// Wall duration in simulation seconds.
+    pub duration: f64,
+    /// Mean speed while the mission ran, m/s.
+    pub mean_speed: f64,
+    /// Violation counts by kind.
+    pub violations: BTreeMap<String, usize>,
+}
+
+impl MissionReport {
+    /// Total violation count.
+    pub fn violation_count(&self) -> usize {
+        self.violations.values().sum()
+    }
+}
+
+/// Batch evaluation summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalSummary {
+    /// Per-mission reports.
+    pub missions: Vec<MissionReport>,
+}
+
+impl EvalSummary {
+    /// Fraction of missions completed, in percent.
+    pub fn success_rate(&self) -> f64 {
+        if self.missions.is_empty() {
+            return 0.0;
+        }
+        100.0
+            * self
+                .missions
+                .iter()
+                .filter(|m| m.status.is_success())
+                .count() as f64
+            / self.missions.len() as f64
+    }
+
+    /// Violations per kilometer over the whole batch.
+    pub fn violations_per_km(&self) -> f64 {
+        let v: usize = self.missions.iter().map(|m| m.violation_count()).sum();
+        let km: f64 = self.missions.iter().map(|m| m.distance).sum::<f64>() / 1000.0;
+        v as f64 / km.max(0.05)
+    }
+}
+
+/// Runs one mission to completion with the given driver.
+pub fn run_mission(scenario: &Scenario, driver: &mut dyn Driver) -> MissionReport {
+    let mut world = World::from_scenario(scenario);
+    let mut speed_sum = 0.0;
+    let mut frames = 0u64;
+    loop {
+        let obs = world.observe();
+        let control = driver.drive(&DriverInput {
+            obs: &obs,
+            world: &world,
+        });
+        speed_sum += world.ego().speed;
+        frames += 1;
+        if world.step(control).is_terminal() {
+            break;
+        }
+    }
+    let mut violations = BTreeMap::new();
+    for kind in ViolationKind::ALL {
+        let n = world
+            .monitor()
+            .events()
+            .iter()
+            .filter(|e| e.kind == kind)
+            .count();
+        if n > 0 {
+            violations.insert(kind.to_string(), n);
+        }
+    }
+    MissionReport {
+        seed: scenario.seed,
+        status: world.mission(),
+        distance: world.odometer(),
+        duration: world.time(),
+        mean_speed: if frames > 0 {
+            speed_sum / frames as f64
+        } else {
+            0.0
+        },
+        violations,
+    }
+}
+
+/// Runs a batch of missions.
+pub fn evaluate(scenarios: &[Scenario], driver: &mut dyn Driver) -> EvalSummary {
+    EvalSummary {
+        missions: scenarios
+            .iter()
+            .map(|s| run_mission(s, driver))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expert::ExpertDriver;
+    use avfi_sim::scenario::TownSpec;
+
+    fn scenarios(n: u64) -> Vec<Scenario> {
+        (0..n)
+            .map(|i| {
+                let mut town = TownSpec::grid(3, 3);
+                town.signalized = false;
+                Scenario::builder(town)
+                    .seed(500 + i)
+                    .npc_vehicles(0)
+                    .pedestrians(0)
+                    .time_budget(120.0)
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn expert_evaluation_summary() {
+        let mut expert = ExpertDriver::new();
+        let summary = evaluate(&scenarios(3), &mut expert);
+        assert_eq!(summary.missions.len(), 3);
+        assert!(summary.success_rate() >= 66.0, "{}", summary.success_rate());
+        for m in &summary.missions {
+            assert!(m.distance > 50.0);
+            assert!(m.mean_speed > 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_zero() {
+        let mut expert = ExpertDriver::new();
+        let summary = evaluate(&[], &mut expert);
+        assert_eq!(summary.success_rate(), 0.0);
+    }
+}

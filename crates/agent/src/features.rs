@@ -1,0 +1,57 @@
+//! Camera preprocessing for the imitation network.
+
+use avfi_nn::Tensor;
+use avfi_sim::sensors::Image;
+
+/// Width of the network input image, pixels.
+pub const NET_WIDTH: usize = 32;
+/// Height of the network input image, pixels.
+pub const NET_HEIGHT: usize = 24;
+
+/// Normalization divisor for the speed scalar appended at the head input.
+pub const SPEED_SCALE: f64 = 10.0;
+
+/// Converts a camera image into the network input tensor
+/// `[1, NET_HEIGHT, NET_WIDTH]`: grayscale, nearest-neighbor downsample,
+/// zero-centered (`luma − 0.5`).
+pub fn image_to_tensor(image: &Image) -> Tensor {
+    let small = if image.width() == NET_WIDTH && image.height() == NET_HEIGHT {
+        image.clone()
+    } else {
+        image.resized(NET_WIDTH, NET_HEIGHT)
+    };
+    let gray: Vec<f32> = small.to_grayscale().iter().map(|v| v - 0.5).collect();
+    Tensor::from_vec(gray, vec![1, NET_HEIGHT, NET_WIDTH])
+}
+
+/// Normalizes a speed (m/s) for the head input.
+pub fn normalize_speed(speed: f64) -> f32 {
+    (speed / SPEED_SCALE) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_shape_and_centering() {
+        let img = Image::filled(64, 48, [1.0, 1.0, 1.0]);
+        let t = image_to_tensor(&img);
+        assert_eq!(t.shape(), &[1, NET_HEIGHT, NET_WIDTH]);
+        // White → luma 1.0 → centered 0.5.
+        assert!(t.data().iter().all(|v| (*v - 0.5).abs() < 1e-4));
+    }
+
+    #[test]
+    fn no_resize_needed_case() {
+        let img = Image::filled(NET_WIDTH, NET_HEIGHT, [0.0, 0.0, 0.0]);
+        let t = image_to_tensor(&img);
+        assert!(t.data().iter().all(|v| (*v + 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn speed_normalization() {
+        assert_eq!(normalize_speed(5.0), 0.5);
+        assert_eq!(normalize_speed(0.0), 0.0);
+    }
+}

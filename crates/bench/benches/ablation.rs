@@ -1,0 +1,156 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * camera resolution vs render cost (the perception-budget knob),
+//! * in-process vs TCP transport per protocol cycle,
+//! * expert vs neural controller per decision,
+//! * town size vs map generation and route planning cost.
+
+use avfi_agent::controller::{Driver, DriverInput, NeuralDriver};
+use avfi_agent::ExpertDriver;
+use avfi_bench::experiments::trained_weights;
+use avfi_net::message::Message;
+use avfi_net::transport::{InProcTransport, TcpTransport, Transport};
+use avfi_sim::map::town::{TownConfig, TownGenerator};
+use avfi_sim::map::LaneKind;
+use avfi_sim::math::Pose;
+use avfi_sim::physics::VehicleControl;
+use avfi_sim::scenario::{Scenario, TownSpec};
+use avfi_sim::sensors::{Camera, CameraConfig, RenderScene};
+use avfi_sim::weather::Weather;
+use avfi_sim::world::World;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::net::TcpListener;
+use std::thread;
+
+/// Camera resolution sweep: render cost scales with pixel count; the IL
+/// agent uses 64×48 downsampled to 32×24.
+fn bench_camera_resolutions(c: &mut Criterion) {
+    let map = TownGenerator::new(TownConfig::grid(3, 3)).generate();
+    let lane = map
+        .lanes()
+        .iter()
+        .find(|l| l.kind() == LaneKind::Drive)
+        .unwrap();
+    let pose = Pose::new(lane.point_at(10.0), lane.heading_at(10.0));
+    let scene = RenderScene {
+        map: &map,
+        weather: Weather::ClearNoon,
+        billboards: Vec::new(),
+    };
+    let mut group = c.benchmark_group("ablation/camera_resolution");
+    for (w, h) in [(32usize, 24usize), (64, 48), (128, 96), (256, 192)] {
+        let camera = Camera::new(CameraConfig {
+            width: w,
+            height: h,
+            ..CameraConfig::default()
+        });
+        group.bench_function(BenchmarkId::from_parameter(format!("{w}x{h}")), |b| {
+            b.iter(|| black_box(camera.render(&scene, pose)))
+        });
+    }
+    group.finish();
+}
+
+/// Transport cost per lockstep cycle (send control + receive echo).
+fn bench_transport(c: &mut Criterion) {
+    let msg = Message::Control {
+        frame: 1,
+        control: VehicleControl::new(0.1, 0.5, 0.0),
+    };
+    let mut group = c.benchmark_group("ablation/transport_cycle");
+
+    // In-process channel pair with an echo thread.
+    let (mut a, mut b) = InProcTransport::pair();
+    let echo_msg = msg.clone();
+    let _echo = thread::spawn(move || {
+        while let Ok(m) = b.recv() {
+            if b.send(m).is_err() {
+                break;
+            }
+        }
+        drop(echo_msg);
+    });
+    group.bench_function("inproc", |bch| {
+        bch.iter(|| {
+            a.send(msg.clone()).unwrap();
+            black_box(a.recv().unwrap())
+        })
+    });
+
+    // TCP loopback with an echo thread.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let _tcp_echo = thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut t = TcpTransport::new(stream).unwrap();
+        while let Ok(m) = t.recv() {
+            if t.send(m).is_err() {
+                break;
+            }
+        }
+    });
+    let mut tcp = TcpTransport::connect(&addr.to_string()).unwrap();
+    group.bench_function("tcp_loopback", |bch| {
+        bch.iter(|| {
+            tcp.send(msg.clone()).unwrap();
+            black_box(tcp.recv().unwrap())
+        })
+    });
+    group.finish();
+}
+
+/// Controller decision cost: oracle rules vs CNN inference.
+fn bench_controllers(c: &mut Criterion) {
+    let mut town = TownSpec::grid(3, 3);
+    town.signalized = false;
+    let scenario = Scenario::builder(town)
+        .seed(4)
+        .npc_vehicles(3)
+        .pedestrians(3)
+        .build();
+    let mut world = World::from_scenario(&scenario);
+    let obs = world.observe();
+    let mut group = c.benchmark_group("ablation/controller_decision");
+    let mut expert = ExpertDriver::new();
+    group.bench_function("expert", |b| {
+        b.iter(|| {
+            black_box(expert.drive(&DriverInput {
+                obs: &obs,
+                world: &world,
+            }))
+        })
+    });
+    let mut neural = NeuralDriver::new(
+        avfi_agent::IlNetwork::from_weights(&trained_weights()).expect("weights"),
+    );
+    group.bench_function("il_cnn", |b| {
+        b.iter(|| {
+            black_box(neural.drive(&DriverInput {
+                obs: &obs,
+                world: &world,
+            }))
+        })
+    });
+    group.finish();
+}
+
+/// Town size sweep: map generation cost.
+fn bench_town_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/town_generation");
+    group.sample_size(20);
+    for n in [2usize, 4, 6, 8] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{n}x{n}")), |b| {
+            b.iter(|| black_box(TownGenerator::new(TownConfig::grid(n, n)).generate()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default().sample_size(30);
+    targets = bench_camera_resolutions, bench_transport, bench_controllers,
+              bench_town_generation
+}
+criterion_main!(ablation);

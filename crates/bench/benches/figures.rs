@@ -1,0 +1,81 @@
+//! Criterion coverage for the paper's figures: each benchmark runs one
+//! short fault-injected mission per configuration, so `cargo bench`
+//! exercises every figure's code path end-to-end and reports the
+//! wall-clock cost of a mission under each injector.
+//!
+//! The statistically meaningful reproductions (longer missions, many
+//! seeds) are the `fig*` binaries; see EXPERIMENTS.md.
+
+use avfi_bench::experiments::{neural_agent, FIG4_DELAYS};
+use avfi_core::campaign::{run_single, AgentSpec};
+use avfi_core::fault::input::{ImageFault, InputFault};
+use avfi_core::fault::timing::TimingFault;
+use avfi_core::fault::FaultSpec;
+use avfi_sim::scenario::{Scenario, TownSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_scenario() -> Scenario {
+    let mut town = TownSpec::grid(3, 3);
+    town.signalized = false;
+    Scenario::builder(town)
+        .seed(311)
+        .npc_vehicles(2)
+        .pedestrians(2)
+        .time_budget(20.0)
+        .min_route_length(100.0)
+        .build()
+}
+
+fn mission(agent: &AgentSpec, fault: &FaultSpec, run: usize) -> usize {
+    let result = run_single(&bench_scenario(), 0, run, fault, agent);
+    result.violations.len()
+}
+
+/// Figure 2/3: one mission per input fault injector.
+fn bench_fig2_fig3(c: &mut Criterion) {
+    let agent = neural_agent();
+    let mut group = c.benchmark_group("figure2_3_input_faults");
+    group.sample_size(10);
+    let mut specs = vec![FaultSpec::None];
+    specs.extend(
+        ImageFault::paper_suite()
+            .into_iter()
+            .map(|m| FaultSpec::Input(InputFault::always(m))),
+    );
+    for spec in specs {
+        group.bench_function(BenchmarkId::from_parameter(spec.label()), |b| {
+            let mut run = 0;
+            b.iter(|| {
+                run += 1;
+                black_box(mission(&agent, &spec, run))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 4: one mission per output delay.
+fn bench_fig4(c: &mut Criterion) {
+    let agent = neural_agent();
+    let mut group = c.benchmark_group("figure4_output_delay");
+    group.sample_size(10);
+    for &frames in &FIG4_DELAYS {
+        let spec = if frames == 0 {
+            FaultSpec::None
+        } else {
+            FaultSpec::Timing(TimingFault::OutputDelay { frames })
+        };
+        group.bench_function(BenchmarkId::from_parameter(format!("{frames}frames")), |b| {
+            let mut run = 0;
+            b.iter(|| {
+                run += 1;
+                black_box(mission(&agent, &spec, run))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(figures, bench_fig2_fig3, bench_fig4);
+criterion_main!(figures);

@@ -1,0 +1,205 @@
+//! Micro-benchmarks for the AVFI substrates: physics, rendering, NN
+//! inference/training, codec, world stepping, and the fault-injection
+//! interception overhead (a design-choice ablation from DESIGN.md).
+
+use avfi_agent::features::image_to_tensor;
+use avfi_agent::IlNetwork;
+use avfi_bench::experiments::trained_weights;
+use avfi_core::fault::input::{ImageFault, InputFault};
+use avfi_core::fault::FaultSpec;
+use avfi_core::harness::AvDriver;
+use avfi_net::codec;
+use avfi_net::message::Message;
+use avfi_sim::map::route::{plan_route, Command};
+use avfi_sim::map::town::{TownConfig, TownGenerator};
+use avfi_sim::map::LaneKind;
+use avfi_sim::math::{Pose, Vec2};
+use avfi_sim::physics::{BicycleModel, VehicleControl, VehicleParams, VehicleState};
+use avfi_sim::scenario::{Scenario, TownSpec};
+use avfi_sim::sensors::{Camera, CameraConfig, Lidar, LidarConfig, RenderScene};
+use avfi_sim::weather::Weather;
+use avfi_sim::world::World;
+use avfi_sim::FRAME_DT;
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_physics(c: &mut Criterion) {
+    let model = BicycleModel::new(VehicleParams::default());
+    let state = VehicleState {
+        pose: Pose::new(Vec2::new(1.0, 2.0), 0.3),
+        speed: 8.0,
+        steer_angle: 0.0,
+    };
+    let control = VehicleControl::new(0.2, 0.6, 0.0);
+    c.bench_function("physics/bicycle_step", |b| {
+        b.iter(|| black_box(model.step(black_box(state), control, 1.0, FRAME_DT)))
+    });
+}
+
+fn bench_map_queries(c: &mut Criterion) {
+    let map = TownGenerator::new(TownConfig::grid(4, 4)).generate();
+    let p = Vec2::new(40.0, 1.75);
+    c.bench_function("map/material_at", |b| {
+        b.iter(|| black_box(map.material_at(black_box(p))))
+    });
+    c.bench_function("map/nearest_lane", |b| {
+        b.iter(|| black_box(map.nearest_lane(black_box(p), 8.0)))
+    });
+    let start = map
+        .lanes()
+        .iter()
+        .find(|l| l.kind() == LaneKind::Drive)
+        .unwrap()
+        .id();
+    let goal = map
+        .lanes()
+        .iter()
+        .filter(|l| l.kind() == LaneKind::Drive)
+        .last()
+        .unwrap()
+        .id();
+    c.bench_function("map/plan_route_4x4", |b| {
+        b.iter(|| black_box(plan_route(&map, start, 0.0, goal)))
+    });
+}
+
+fn bench_sensors(c: &mut Criterion) {
+    let map = TownGenerator::new(TownConfig::grid(3, 3)).generate();
+    let lane = map
+        .lanes()
+        .iter()
+        .find(|l| l.kind() == LaneKind::Drive)
+        .unwrap();
+    let pose = Pose::new(lane.point_at(10.0), lane.heading_at(10.0));
+    let camera = Camera::new(CameraConfig::default());
+    let scene = RenderScene {
+        map: &map,
+        weather: Weather::ClearNoon,
+        billboards: Vec::new(),
+    };
+    c.bench_function("sensors/camera_render_64x48", |b| {
+        b.iter(|| black_box(camera.render(&scene, pose)))
+    });
+    let lidar = Lidar::new(LidarConfig::default());
+    let shapes: Vec<_> = map
+        .buildings()
+        .iter()
+        .take(16)
+        .map(|a| avfi_sim::physics::CollisionShape::Fixed(*a))
+        .collect();
+    c.bench_function("sensors/lidar_scan_36beams", |b| {
+        b.iter(|| black_box(lidar.scan(pose, shapes.iter())))
+    });
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut net = IlNetwork::from_weights(&trained_weights()).expect("weights");
+    let map = TownGenerator::new(TownConfig::grid(2, 2)).generate();
+    let lane = map
+        .lanes()
+        .iter()
+        .find(|l| l.kind() == LaneKind::Drive)
+        .unwrap();
+    let camera = Camera::new(CameraConfig::default());
+    let scene = RenderScene {
+        map: &map,
+        weather: Weather::ClearNoon,
+        billboards: Vec::new(),
+    };
+    let img = camera.render(&scene, Pose::new(lane.point_at(10.0), lane.heading_at(10.0)));
+    let tensor = image_to_tensor(&img);
+    c.bench_function("nn/ilnet_forward", |b| {
+        b.iter(|| black_box(net.predict(black_box(&tensor), 0.5, Command::Follow)))
+    });
+    c.bench_function("nn/ilnet_train_step", |b| {
+        b.iter(|| {
+            black_box(net.loss_backward(black_box(&tensor), 0.5, Command::Follow, &[0.1, 0.4, 0.0]))
+        })
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let control = Message::Control {
+        frame: 42,
+        control: VehicleControl::new(0.1, 0.8, 0.0),
+    };
+    c.bench_function("codec/control_roundtrip", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::new();
+            codec::encode(black_box(&control), &mut buf).unwrap();
+            black_box(codec::decode(&mut buf).unwrap())
+        })
+    });
+    // Full observation frame (the expensive message).
+    let scenario = Scenario::builder(TownSpec::grid(2, 2))
+        .seed(1)
+        .npc_vehicles(0)
+        .pedestrians(0)
+        .build();
+    let mut world = World::from_scenario(&scenario);
+    let obs = Message::Observation(Box::new(world.observe()));
+    c.bench_function("codec/observation_roundtrip", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::new();
+            codec::encode(black_box(&obs), &mut buf).unwrap();
+            black_box(codec::decode(&mut buf).unwrap())
+        })
+    });
+}
+
+fn bench_world(c: &mut Criterion) {
+    let scenario = Scenario::builder(TownSpec::grid(3, 3))
+        .seed(2)
+        .npc_vehicles(4)
+        .pedestrians(4)
+        .time_budget(1e9)
+        .build();
+    let mut world = World::from_scenario(&scenario);
+    c.bench_function("world/step_with_traffic", |b| {
+        b.iter(|| black_box(world.step(VehicleControl::new(0.0, 0.4, 0.0))))
+    });
+    c.bench_function("world/observe_full_sensor_frame", |b| {
+        b.iter(|| black_box(world.observe()))
+    });
+}
+
+/// Ablation: what does the fault-injection interception layer cost per
+/// frame, with no fault, with a cheap fault, and with an expensive one?
+fn bench_injection_overhead(c: &mut Criterion) {
+    let scenario = Scenario::builder(TownSpec::grid(2, 2))
+        .seed(3)
+        .npc_vehicles(0)
+        .pedestrians(0)
+        .time_budget(1e9)
+        .build();
+    let mut world = World::from_scenario(&scenario);
+    let obs = world.observe();
+    let mut group = c.benchmark_group("injection_overhead");
+    let cases: Vec<(&str, FaultSpec)> = vec![
+        ("none", FaultSpec::None),
+        (
+            "gaussian",
+            FaultSpec::Input(InputFault::always(ImageFault::gaussian(0.08))),
+        ),
+        (
+            "solid_occ",
+            FaultSpec::Input(InputFault::always(ImageFault::solid_occlusion(0.3))),
+        ),
+    ];
+    for (name, spec) in cases {
+        let mut driver = AvDriver::expert(spec, 7);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(driver.drive_frame(black_box(&obs), &world)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(30);
+    targets = bench_physics, bench_map_queries, bench_sensors, bench_nn,
+              bench_codec, bench_world, bench_injection_overhead
+}
+criterion_main!(micro);

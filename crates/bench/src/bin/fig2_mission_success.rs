@@ -1,0 +1,15 @@
+//! Figure 2 reproduction: mission success rate for an autonomous vehicle
+//! with different input fault injectors.
+//!
+//! Usage: `cargo run --release -p avfi-bench --bin fig2_mission_success
+//! [--quick]`
+
+use avfi_bench::experiments::{export_json, input_fault_study, render_fig2, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[fig2] scale = {scale:?}");
+    let results = input_fault_study(scale);
+    println!("{}", render_fig2(&results));
+    export_json("fig2_mission_success", &results);
+}

@@ -1,0 +1,15 @@
+//! Figure 3 reproduction: distribution of traffic violations per km driven
+//! with different input fault injectors.
+//!
+//! Usage: `cargo run --release -p avfi-bench --bin fig3_violations_per_km
+//! [--quick]`
+
+use avfi_bench::experiments::{export_json, input_fault_study, render_fig3, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[fig3] scale = {scale:?}");
+    let results = input_fault_study(scale);
+    println!("{}", render_fig3(&results));
+    export_json("fig3_violations_per_km", &results);
+}

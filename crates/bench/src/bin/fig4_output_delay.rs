@@ -1,0 +1,18 @@
+//! Figure 4 reproduction: distribution of violations per km with
+//! increasing output delay between the ADA and actuation.
+//!
+//! The simulation runs at 15 FPS, so a delay of 30 frames corresponds to
+//! 2 s between decision and actuation — the paper's headline observation.
+//!
+//! Usage: `cargo run --release -p avfi-bench --bin fig4_output_delay
+//! [--quick]`
+
+use avfi_bench::experiments::{export_json, output_delay_study, render_fig4, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[fig4] scale = {scale:?}");
+    let results = output_delay_study(scale);
+    println!("{}", render_fig4(&results));
+    export_json("fig4_output_delay", &results);
+}

@@ -1,0 +1,334 @@
+//! Shared experiment machinery: evaluation scenarios, cached agent
+//! training, and the campaign studies behind each figure.
+
+use avfi_agent::train::train_default_agent;
+use avfi_core::campaign::{AgentSpec, Campaign, CampaignConfig, CampaignResult};
+use avfi_core::fault::input::{ImageFault, InputFault};
+use avfi_core::fault::timing::TimingFault;
+use avfi_core::fault::FaultSpec;
+use avfi_core::{metrics, report, stats};
+use avfi_sim::scenario::{Scenario, TownSpec};
+use avfi_sim::weather::Weather;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+/// Experiment scale: `quick` for smoke tests and criterion, `full` for the
+/// figure reproductions in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Number of evaluation scenarios.
+    pub scenarios: usize,
+    /// Missions per scenario per injector.
+    pub runs: usize,
+    /// Mission time budget, seconds.
+    pub budget: f64,
+}
+
+impl Scale {
+    /// Small scale for CI / criterion.
+    pub fn quick() -> Scale {
+        Scale {
+            scenarios: 2,
+            runs: 2,
+            budget: 90.0,
+        }
+    }
+
+    /// Paper-scale campaigns.
+    pub fn full() -> Scale {
+        Scale {
+            scenarios: 4,
+            runs: 5,
+            budget: 150.0,
+        }
+    }
+
+    /// Parses `--quick` from argv (binaries share this convention).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::quick()
+        } else {
+            Scale::full()
+        }
+    }
+}
+
+/// The evaluation scenario suite: unsignalized grid towns with light
+/// traffic.
+///
+/// Unsignalized because the conditional imitation agent of Codevilla et
+/// al. does not obey traffic lights (CARLA's CoRL benchmark excluded
+/// red-light infractions for the same reason); with signals on, the
+/// NoInject baseline would be dominated by red-light violations instead of
+/// fault effects. See DESIGN.md.
+pub fn evaluation_suite(scale: Scale) -> Vec<Scenario> {
+    let seeds = [211u64, 223, 237, 251, 263, 277];
+    let weathers = [
+        Weather::ClearNoon,
+        Weather::ClearNoon,
+        Weather::Overcast,
+        Weather::ClearNoon,
+        Weather::Overcast,
+        Weather::ClearNoon,
+    ];
+    (0..scale.scenarios.min(seeds.len()))
+        .map(|i| {
+            let mut town = TownSpec::grid(3, 3);
+            town.signalized = false;
+            Scenario::builder(town)
+                .seed(seeds[i])
+                .npc_vehicles(2)
+                .pedestrians(2)
+                .pedestrian_cross_rate(0.008)
+                .weather(weathers[i])
+                .time_budget(scale.budget)
+                .min_route_length(150.0)
+                .build()
+        })
+        .collect()
+}
+
+/// Trains (or loads from the on-disk cache) the default IL agent weights.
+///
+/// Training is deterministic (seed 42) and takes ~10 s in release mode;
+/// the result is cached in `target/avfi-il-weights.bin` and in-process.
+pub fn trained_weights() -> Arc<Vec<u8>> {
+    static WEIGHTS: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    WEIGHTS
+        .get_or_init(|| {
+            let path = weights_cache_path();
+            if let Ok(bytes) = std::fs::read(&path) {
+                if avfi_agent::IlNetwork::from_weights(&bytes).is_ok() {
+                    return Arc::new(bytes);
+                }
+            }
+            eprintln!("[avfi-bench] training IL agent (cached at {})", path.display());
+            let (mut net, losses) = train_default_agent(42);
+            eprintln!("[avfi-bench] imitation losses per epoch: {losses:?}");
+            let bytes = net.to_weights();
+            let _ = std::fs::create_dir_all(path.parent().expect("cache dir"));
+            let _ = std::fs::write(&path, &bytes);
+            Arc::new(bytes)
+        })
+        .clone()
+}
+
+fn weights_cache_path() -> PathBuf {
+    // crates/bench/../../target/avfi-il-weights.bin
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target")
+        .join("avfi-il-weights.bin")
+}
+
+/// The neural agent spec backed by the cached weights.
+pub fn neural_agent() -> AgentSpec {
+    AgentSpec::Neural {
+        weights: trained_weights(),
+    }
+}
+
+/// Runs one campaign of `fault` over the evaluation suite.
+pub fn run_campaign(fault: FaultSpec, agent: AgentSpec, scale: Scale) -> CampaignResult {
+    let config = CampaignConfig::builder(evaluation_suite(scale))
+        .runs_per_scenario(scale.runs)
+        .fault(fault)
+        .agent(agent)
+        .build();
+    Campaign::new(config).run()
+}
+
+/// The six input-injector configurations of Figures 2 and 3, in paper
+/// order.
+pub fn input_fault_specs() -> Vec<FaultSpec> {
+    let mut specs = vec![FaultSpec::None];
+    specs.extend(
+        ImageFault::paper_suite()
+            .into_iter()
+            .map(|m| FaultSpec::Input(InputFault::always(m))),
+    );
+    specs
+}
+
+/// Runs the Figure 2/3 study: one campaign per input injector.
+pub fn input_fault_study(scale: Scale) -> Vec<CampaignResult> {
+    input_fault_specs()
+        .into_iter()
+        .map(|spec| run_campaign(spec, neural_agent(), scale))
+        .collect()
+}
+
+/// The output-delay sweep of Figure 4, in frames (15 FPS ⇒ 30 frames =
+/// 2 s).
+pub const FIG4_DELAYS: [usize; 5] = [0, 5, 10, 20, 30];
+
+/// Runs the Figure 4 study: one campaign per output delay.
+pub fn output_delay_study(scale: Scale) -> Vec<CampaignResult> {
+    FIG4_DELAYS
+        .iter()
+        .map(|&frames| {
+            let spec = if frames == 0 {
+                FaultSpec::None
+            } else {
+                FaultSpec::Timing(TimingFault::OutputDelay { frames })
+            };
+            run_campaign(spec, neural_agent(), scale)
+        })
+        .collect()
+}
+
+/// Renders the Figure 2 table (mission success rate per injector).
+pub fn render_fig2(results: &[CampaignResult]) -> String {
+    let mut table = report::Table::new(vec![
+        "Input Fault Injector",
+        "Runs",
+        "MSR (%)",
+        "",
+    ]);
+    for r in results {
+        let msr = metrics::mission_success_rate(r.runs());
+        table.row(vec![
+            r.fault.clone(),
+            r.runs().len().to_string(),
+            format!("{msr:.1}"),
+            report::bar(msr, 100.0, 25),
+        ]);
+    }
+    format!(
+        "Figure 2 — Mission success rate under input fault injectors\n\n{}",
+        table.render()
+    )
+}
+
+/// Renders the Figure 3 table (violations-per-km distribution per
+/// injector, with a text box plot).
+pub fn render_fig3(results: &[CampaignResult]) -> String {
+    let dists: Vec<Vec<f64>> = results
+        .iter()
+        .map(|r| metrics::vpk_distribution(r.runs()))
+        .collect();
+    let axis_hi = dists
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(1.0f64, f64::max)
+        .ceil();
+    let mut table = report::Table::new(vec![
+        "Input Fault Injector",
+        "median",
+        "IQR",
+        "mean",
+        "max",
+        &format!("VPK distribution [0, {axis_hi:.0}]"),
+    ]);
+    for (r, d) in results.iter().zip(&dists) {
+        let s = stats::Summary::of(d);
+        table.row(vec![
+            r.fault.clone(),
+            format!("{:.2}", s.median),
+            format!("{:.2}", s.iqr()),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.max),
+            report::box_plot_row(&s, 0.0, axis_hi, 36),
+        ]);
+    }
+    format!(
+        "Figure 3 — Total violations per km under input fault injectors\n\n{}",
+        table.render()
+    )
+}
+
+/// Renders the Figure 4 table (violations per km vs output delay).
+pub fn render_fig4(results: &[CampaignResult]) -> String {
+    let dists: Vec<Vec<f64>> = results
+        .iter()
+        .map(|r| metrics::vpk_distribution(r.runs()))
+        .collect();
+    let axis_hi = dists
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(1.0f64, f64::max)
+        .ceil();
+    let mut table = report::Table::new(vec![
+        "Output Delay (frames)",
+        "(seconds)",
+        "median VPK",
+        "mean VPK",
+        "MSR (%)",
+        &format!("VPK distribution [0, {axis_hi:.0}]"),
+    ]);
+    for ((r, d), &frames) in results.iter().zip(&dists).zip(FIG4_DELAYS.iter()) {
+        let s = stats::Summary::of(d);
+        table.row(vec![
+            frames.to_string(),
+            format!("{:.2}", frames as f64 / 15.0),
+            format!("{:.2}", s.median),
+            format!("{:.2}", s.mean),
+            format!("{:.1}", metrics::mission_success_rate(r.runs())),
+            report::box_plot_row(&s, 0.0, axis_hi, 36),
+        ]);
+    }
+    format!(
+        "Figure 4 — Violations per km vs injected output delay (15 FPS)\n\n{}",
+        table.render()
+    )
+}
+
+/// Writes campaign results as JSON into `results/<name>.json` under the
+/// repository root (best effort; failures are printed, not fatal).
+pub fn export_json(name: &str, results: &[CampaignResult]) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(results) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("[avfi-bench] could not write {}: {e}", path.display());
+            } else {
+                eprintln!("[avfi-bench] wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("[avfi-bench] serialization failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_deterministic_and_unsignalized() {
+        let a = evaluation_suite(Scale::quick());
+        let b = evaluation_suite(Scale::quick());
+        assert_eq!(a.len(), 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed);
+            assert!(!x.town.signalized);
+        }
+    }
+
+    #[test]
+    fn input_specs_cover_paper_axis() {
+        let specs = input_fault_specs();
+        let labels: Vec<String> = specs.iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["NoInject", "Gaussian", "S&P", "SolidOcc", "TranspOcc", "WaterDrop"]
+        );
+    }
+
+    #[test]
+    fn fig4_sweep_matches_paper() {
+        assert_eq!(FIG4_DELAYS, [0, 5, 10, 20, 30]);
+    }
+
+    #[test]
+    fn render_helpers_handle_empty_runs() {
+        // Rendering must not panic on degenerate inputs.
+        let results: Vec<CampaignResult> = Vec::new();
+        assert!(render_fig2(&results).contains("Figure 2"));
+        assert!(render_fig3(&results).contains("Figure 3"));
+    }
+}

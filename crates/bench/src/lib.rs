@@ -1,0 +1,18 @@
+//! # avfi-bench — experiment harness for every figure of the AVFI paper
+//!
+//! The paper's evaluation is Figures 2–4 (Figure 1 is the architecture):
+//!
+//! * **Fig. 2** — mission success rate under the six input fault injectors
+//!   {NoInject, Gaussian, S&P, SolidOcc, TranspOcc, WaterDrop},
+//! * **Fig. 3** — traffic violations per km under the same injectors,
+//! * **Fig. 4** — violations per km vs output delay {0, 5, 10, 20, 30}
+//!   frames between the ADA and actuation (15 FPS).
+//!
+//! [`experiments`] provides the shared machinery (scenario suite, cached
+//! agent training, campaign studies); each `src/bin/figN_*.rs` binary
+//! regenerates one figure as a table; `benches/` adds criterion coverage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;

@@ -1,0 +1,397 @@
+//! Fault-injection campaigns: seeded batches of missions run in parallel.
+//!
+//! A campaign fixes an agent, a fault plan, and a set of scenarios, then
+//! runs `runs_per_scenario` missions per scenario with derived seeds. Each
+//! run is fully self-contained and deterministic, so campaigns parallelize
+//! over worker threads without affecting results.
+
+use crate::fault::FaultSpec;
+use crate::harness::AvDriver;
+use avfi_agent::IlNetwork;
+use avfi_sim::rng::split_seed;
+use avfi_sim::scenario::Scenario;
+use avfi_sim::violation::Violation;
+use avfi_sim::world::{MissionStatus, World};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Which agent a campaign drives.
+#[derive(Debug, Clone)]
+pub enum AgentSpec {
+    /// The rule-based oracle autopilot.
+    Expert,
+    /// The imitation-learning CNN, rebuilt per run from serialized
+    /// weights (so parallel runs and per-run ML faults never share state).
+    Neural {
+        /// Trained weights, shared read-only across runs.
+        weights: Arc<Vec<u8>>,
+    },
+}
+
+impl AgentSpec {
+    /// Builds the neural spec from a trained network.
+    pub fn neural(net: &mut IlNetwork) -> AgentSpec {
+        AgentSpec::Neural {
+            weights: Arc::new(net.to_weights()),
+        }
+    }
+
+    /// Agent name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AgentSpec::Expert => "expert",
+            AgentSpec::Neural { .. } => "il-cnn",
+        }
+    }
+}
+
+/// Mission outcome of one run (serializable mirror of
+/// [`MissionStatus`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MissionOutcome {
+    /// Goal reached.
+    Success {
+        /// Completion time, seconds.
+        time: f64,
+    },
+    /// Time budget exhausted.
+    Timeout,
+    /// Vehicle immobile (crashed/pinned).
+    Stuck,
+}
+
+impl MissionOutcome {
+    /// `true` on success.
+    pub fn is_success(self) -> bool {
+        matches!(self, MissionOutcome::Success { .. })
+    }
+}
+
+impl From<MissionStatus> for MissionOutcome {
+    fn from(s: MissionStatus) -> Self {
+        match s {
+            MissionStatus::Success { time } => MissionOutcome::Success { time },
+            MissionStatus::Stuck => MissionOutcome::Stuck,
+            // A run stopped while Running is accounted as a timeout.
+            MissionStatus::Timeout | MissionStatus::Running => MissionOutcome::Timeout,
+        }
+    }
+}
+
+/// Result of one fault-injected mission.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Fault label (e.g. `"Gaussian"`, `"delay 30f"`).
+    pub fault: String,
+    /// Agent name.
+    pub agent: String,
+    /// Index of the scenario within the campaign.
+    pub scenario_index: usize,
+    /// Index of the run within the scenario.
+    pub run_index: usize,
+    /// Derived seed the run used.
+    pub seed: u64,
+    /// Mission outcome.
+    pub outcome: MissionOutcome,
+    /// Simulated duration, seconds.
+    pub duration: f64,
+    /// Distance driven, kilometers.
+    pub distance_km: f64,
+    /// All violations recorded by the traffic monitor.
+    pub violations: Vec<Violation>,
+    /// Simulation time of the first injection, if any.
+    pub injection_time: Option<f64>,
+}
+
+/// Configuration of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Scenario templates; each gets `runs_per_scenario` derived-seed runs.
+    pub scenarios: Vec<Scenario>,
+    /// Missions per scenario.
+    pub runs_per_scenario: usize,
+    /// The fault plan applied to every run.
+    pub fault: FaultSpec,
+    /// The agent under test.
+    pub agent: AgentSpec,
+    /// Worker threads (0 = one per available core, capped at 8).
+    pub parallelism: usize,
+}
+
+impl CampaignConfig {
+    /// Starts a builder over scenario templates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scenarios` is empty.
+    pub fn builder(scenarios: Vec<Scenario>) -> CampaignConfigBuilder {
+        assert!(!scenarios.is_empty(), "campaign needs at least one scenario");
+        CampaignConfigBuilder {
+            config: CampaignConfig {
+                scenarios,
+                runs_per_scenario: 5,
+                fault: FaultSpec::None,
+                agent: AgentSpec::Expert,
+                parallelism: 0,
+            },
+        }
+    }
+
+    /// Total number of runs.
+    pub fn total_runs(&self) -> usize {
+        self.scenarios.len() * self.runs_per_scenario
+    }
+}
+
+/// Builder for [`CampaignConfig`].
+#[derive(Debug, Clone)]
+pub struct CampaignConfigBuilder {
+    config: CampaignConfig,
+}
+
+impl CampaignConfigBuilder {
+    /// Sets the missions per scenario.
+    pub fn runs_per_scenario(mut self, n: usize) -> Self {
+        self.config.runs_per_scenario = n;
+        self
+    }
+
+    /// Sets the fault plan.
+    pub fn fault(mut self, fault: FaultSpec) -> Self {
+        self.config.fault = fault;
+        self
+    }
+
+    /// Sets the agent.
+    pub fn agent(mut self, agent: AgentSpec) -> Self {
+        self.config.agent = agent;
+        self
+    }
+
+    /// Sets the worker-thread count (0 = auto).
+    pub fn parallelism(mut self, n: usize) -> Self {
+        self.config.parallelism = n;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> CampaignConfig {
+        self.config
+    }
+}
+
+/// Results of a campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Fault label.
+    pub fault: String,
+    /// Agent name.
+    pub agent: String,
+    /// All run results, in (scenario, run) order.
+    runs: Vec<RunResult>,
+}
+
+impl CampaignResult {
+    /// All runs.
+    pub fn runs(&self) -> &[RunResult] {
+        &self.runs
+    }
+
+    /// Total kilometers driven across runs.
+    pub fn total_km(&self) -> f64 {
+        self.runs.iter().map(|r| r.distance_km).sum()
+    }
+
+    /// Total violations across runs.
+    pub fn total_violations(&self) -> usize {
+        self.runs.iter().map(|r| r.violations.len()).sum()
+    }
+}
+
+/// A runnable campaign.
+#[derive(Debug)]
+pub struct Campaign {
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates a campaign.
+    pub fn new(config: CampaignConfig) -> Self {
+        Campaign { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Executes every run (parallel over worker threads) and collects the
+    /// results. Results are identical regardless of thread count.
+    pub fn run(&self) -> CampaignResult {
+        let cfg = &self.config;
+        let total = cfg.total_runs();
+        let workers = if cfg.parallelism > 0 {
+            cfg.parallelism
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8)
+        };
+        let next = AtomicUsize::new(0);
+        let results: Vec<parking_lot::Mutex<Option<RunResult>>> =
+            (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
+
+        crossbeam::scope(|scope| {
+            for _ in 0..workers.min(total).max(1) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let scenario_index = i / cfg.runs_per_scenario;
+                    let run_index = i % cfg.runs_per_scenario;
+                    let result = run_single(
+                        &cfg.scenarios[scenario_index],
+                        scenario_index,
+                        run_index,
+                        &cfg.fault,
+                        &cfg.agent,
+                    );
+                    *results[i].lock() = Some(result);
+                });
+            }
+        })
+        .expect("campaign worker panicked");
+
+        CampaignResult {
+            fault: cfg.fault.label(),
+            agent: cfg.agent.name().to_string(),
+            runs: results
+                .into_iter()
+                .map(|m| m.into_inner().expect("all runs completed"))
+                .collect(),
+        }
+    }
+}
+
+/// Executes one fault-injected mission.
+pub fn run_single(
+    template: &Scenario,
+    scenario_index: usize,
+    run_index: usize,
+    fault: &FaultSpec,
+    agent: &AgentSpec,
+) -> RunResult {
+    // Derive a per-run scenario: same town/config, new mission/traffic
+    // seed.
+    let mut scenario = template.clone();
+    scenario.seed = split_seed(template.seed, run_index as u64 + 1);
+    let mut world = World::from_scenario(&scenario);
+    let mut driver = match agent {
+        AgentSpec::Expert => AvDriver::expert(fault.clone(), scenario.seed),
+        AgentSpec::Neural { weights } => {
+            let net = IlNetwork::from_weights(weights).expect("valid campaign weights");
+            AvDriver::neural(net, fault.clone(), scenario.seed)
+        }
+    };
+    loop {
+        let obs = world.observe();
+        let control = driver.drive_frame(&obs, &world);
+        if world.step(control).is_terminal() {
+            break;
+        }
+    }
+    RunResult {
+        fault: fault.label(),
+        agent: driver.agent_name().to_string(),
+        scenario_index,
+        run_index,
+        seed: scenario.seed,
+        outcome: world.mission().into(),
+        duration: world.time(),
+        distance_km: world.odometer() / 1000.0,
+        violations: world.monitor().events().to_vec(),
+        injection_time: driver.injection_time(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::timing::TimingFault;
+    use avfi_sim::scenario::TownSpec;
+
+    fn quick_scenario(seed: u64) -> Scenario {
+        let mut town = TownSpec::grid(2, 2);
+        town.signalized = false;
+        Scenario::builder(town)
+            .seed(seed)
+            .npc_vehicles(0)
+            .pedestrians(0)
+            .time_budget(20.0)
+            .min_route_length(60.0)
+            .build()
+    }
+
+    #[test]
+    fn expert_campaign_runs_and_is_deterministic() {
+        let config = CampaignConfig::builder(vec![quick_scenario(1)])
+            .runs_per_scenario(3)
+            .parallelism(2)
+            .build();
+        let a = Campaign::new(config.clone()).run();
+        let b = Campaign::new(config).run();
+        assert_eq!(a.runs().len(), 3);
+        for (x, y) in a.runs().iter().zip(b.runs()) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.distance_km, y.distance_km);
+            assert_eq!(x.violations.len(), y.violations.len());
+            assert_eq!(x.outcome.is_success(), y.outcome.is_success());
+        }
+    }
+
+    #[test]
+    fn parallelism_does_not_change_results() {
+        let mk = |threads| {
+            Campaign::new(
+                CampaignConfig::builder(vec![quick_scenario(2)])
+                    .runs_per_scenario(4)
+                    .parallelism(threads)
+                    .build(),
+            )
+            .run()
+        };
+        let serial = mk(1);
+        let parallel = mk(4);
+        for (x, y) in serial.runs().iter().zip(parallel.runs()) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.duration, y.duration);
+            assert_eq!(x.distance_km, y.distance_km);
+        }
+    }
+
+    #[test]
+    fn runs_get_distinct_seeds() {
+        let config = CampaignConfig::builder(vec![quick_scenario(3)])
+            .runs_per_scenario(4)
+            .build();
+        let result = Campaign::new(config).run();
+        let seeds: std::collections::HashSet<u64> =
+            result.runs().iter().map(|r| r.seed).collect();
+        assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn fault_label_propagates() {
+        let config = CampaignConfig::builder(vec![quick_scenario(4)])
+            .runs_per_scenario(1)
+            .fault(FaultSpec::Timing(TimingFault::OutputDelay { frames: 10 }))
+            .build();
+        let result = Campaign::new(config).run();
+        assert_eq!(result.fault, "delay 10f");
+        assert_eq!(result.runs()[0].fault, "delay 10f");
+        assert_eq!(result.runs()[0].injection_time, Some(0.0));
+    }
+}

@@ -1,0 +1,78 @@
+//! Fault models: the four classes of §II of the paper.
+
+pub mod hardware;
+pub mod input;
+pub mod ml;
+pub mod timing;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Complete fault plan for one campaign: which class, which model, when.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum FaultSpec {
+    /// Golden (fault-free) run.
+    #[default]
+    None,
+    /// Data faults on sensor payloads.
+    Input(input::InputFault),
+    /// Bit-level faults on commands and sensor scalars.
+    Hardware(hardware::HardwareFault),
+    /// Delays / drops / reordering between ADA and actuation.
+    Timing(timing::TimingFault),
+    /// Faults in the IL-CNN parameters or neurons.
+    Ml(ml::MlFault),
+}
+
+impl FaultSpec {
+    /// Short label for tables and plots (matches the paper's axis labels
+    /// for the input models).
+    pub fn label(&self) -> String {
+        match self {
+            FaultSpec::None => "NoInject".to_string(),
+            FaultSpec::Input(f) => f.model.label().to_string(),
+            FaultSpec::Hardware(f) => f.label(),
+            FaultSpec::Timing(f) => f.label(),
+            FaultSpec::Ml(f) => f.label(),
+        }
+    }
+
+    /// Paper fault class name.
+    pub fn class(&self) -> &'static str {
+        match self {
+            FaultSpec::None => "none",
+            FaultSpec::Input(_) => "data",
+            FaultSpec::Hardware(_) => "hardware",
+            FaultSpec::Timing(_) => "timing",
+            FaultSpec::Ml(_) => "machine-learning",
+        }
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::input::{ImageFault, InputFault};
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_axes() {
+        assert_eq!(FaultSpec::None.label(), "NoInject");
+        let g = FaultSpec::Input(InputFault::always(ImageFault::gaussian(0.1)));
+        assert_eq!(g.label(), "Gaussian");
+        assert_eq!(g.class(), "data");
+    }
+
+    #[test]
+    fn spec_serializes() {
+        let spec = FaultSpec::Input(InputFault::always(ImageFault::salt_pepper(0.05)));
+        let s = serde_json::to_string(&spec).unwrap();
+        let back: FaultSpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(spec, back);
+    }
+}

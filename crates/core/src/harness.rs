@@ -1,0 +1,340 @@
+//! The fault-injection harness: wraps a driving agent and applies the
+//! configured faults to its inputs (sensor payloads), its model (IL-CNN
+//! parameters/neurons), and its outputs (commands, timing).
+//!
+//! This is the "Fault Injector" box of Figure 1: Input FI sits between the
+//! server's sensor stream and the ADA, NN FI inside the ADA, Output FI and
+//! Timing FI between the ADA and actuation.
+
+use crate::fault::input::ImageFaultLayout;
+use crate::fault::timing::TimingChannel;
+use crate::fault::FaultSpec;
+use avfi_agent::controller::{Driver, DriverInput};
+use avfi_agent::{ExpertDriver, IlNetwork, NeuralDriver};
+use avfi_sim::physics::VehicleControl;
+use avfi_sim::rng::stream_rng;
+use avfi_sim::world::{World, WorldObservation};
+use avfi_sim::FRAME_DT;
+use rand::rngs::StdRng;
+
+enum Inner {
+    Expert(ExpertDriver),
+    Neural(NeuralDriver),
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Inner::Expert(_) => f.write_str("Expert"),
+            Inner::Neural(_) => f.write_str("Neural"),
+        }
+    }
+}
+
+/// A driving agent wrapped by the AVFI fault injector.
+#[derive(Debug)]
+pub struct AvDriver {
+    inner: Inner,
+    spec: FaultSpec,
+    rng: StdRng,
+    timing: Option<TimingChannel>,
+    image_layout: Option<ImageFaultLayout>,
+    injected_at_frame: Option<u64>,
+}
+
+impl AvDriver {
+    /// Wraps the rule-based expert (oracle baseline).
+    pub fn expert(spec: FaultSpec, seed: u64) -> Self {
+        Self::build(Inner::Expert(ExpertDriver::new()), spec, seed)
+    }
+
+    /// Wraps the neural agent, applying any configured ML fault to the
+    /// network at construction time (a corrupted model is corrupted from
+    /// the start).
+    pub fn neural(mut net: IlNetwork, spec: FaultSpec, seed: u64) -> Self {
+        let mut rng = stream_rng(seed, 0xFA);
+        let mut injected_at_frame = None;
+        if let FaultSpec::Ml(f) = &spec {
+            f.apply(&mut net, &mut rng);
+            injected_at_frame = Some(0);
+        }
+        let mut d = Self::build(Inner::Neural(NeuralDriver::new(net)), spec, seed);
+        d.injected_at_frame = injected_at_frame.or(d.injected_at_frame);
+        d
+    }
+
+    fn build(inner: Inner, spec: FaultSpec, seed: u64) -> Self {
+        let timing = match &spec {
+            FaultSpec::Timing(f) => Some(TimingChannel::new(f.clone())),
+            _ => None,
+        };
+        let injected_at_frame = match &spec {
+            // Timing faults act on the whole run.
+            FaultSpec::Timing(_) => Some(0),
+            _ => None,
+        };
+        AvDriver {
+            inner,
+            spec,
+            rng: stream_rng(seed, 0xFB),
+            timing,
+            image_layout: None,
+            injected_at_frame,
+        }
+    }
+
+    /// Agent name for reports.
+    pub fn agent_name(&self) -> &'static str {
+        match &self.inner {
+            Inner::Expert(_) => "expert",
+            Inner::Neural(_) => "il-cnn",
+        }
+    }
+
+    /// The fault plan.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Simulation time of the first actual injection, if any happened —
+    /// the t₀ of the Time-to-Traffic-Violation metric.
+    pub fn injection_time(&self) -> Option<f64> {
+        self.injected_at_frame.map(|f| f as f64 * FRAME_DT)
+    }
+
+    fn mark_injected(&mut self, frame: u64) {
+        if self.injected_at_frame.is_none() {
+            self.injected_at_frame = Some(frame);
+        }
+    }
+
+    /// Computes the control for one frame, with fault injection.
+    pub fn drive_frame(&mut self, obs: &WorldObservation, world: &World) -> VehicleControl {
+        let frame = obs.sensors.frame;
+        // Small enum; cloning sidesteps a simultaneous &self.spec /
+        // &mut self borrow in the match arms below.
+        let spec = self.spec.clone();
+
+        // --- Input FI and sensor-path Hardware FI: corrupt the
+        // observation the agent sees.
+        let mut corrupted: Option<WorldObservation> = None;
+        match &spec {
+            FaultSpec::Input(f) => {
+                if f.trigger.is_active(frame, &mut self.rng) {
+                    self.mark_injected(frame);
+                    let mut obs2 = obs.clone();
+                    let layout = self.image_layout.get_or_insert_with(|| {
+                        ImageFaultLayout::sample(
+                            &f.model,
+                            obs.sensors.image.width(),
+                            obs.sensors.image.height(),
+                            &mut self.rng,
+                        )
+                    });
+                    f.model.apply(&mut obs2.sensors.image, layout, &mut self.rng);
+                    if let Some(g) = &f.gps {
+                        let p = &mut obs2.sensors.gps.position;
+                        p.x += g.bias_x + avfi_sim::rng::normal(&mut self.rng, 0.0, g.sigma);
+                        p.y += g.bias_y + avfi_sim::rng::normal(&mut self.rng, 0.0, g.sigma);
+                    }
+                    if let Some(s) = &f.speed {
+                        obs2.sensors.speed = match s {
+                            crate::fault::input::SpeedFault::Scale(k) => obs2.sensors.speed * k,
+                            crate::fault::input::SpeedFault::StuckAt(v) => *v,
+                        };
+                    }
+                    if let Some(l) = &f.lidar {
+                        let max = obs2.sensors.lidar.max_range;
+                        l.apply(&mut obs2.sensors.lidar.ranges, max, &mut self.rng);
+                    }
+                    corrupted = Some(obs2);
+                }
+            }
+            FaultSpec::Hardware(f) if !f.target.is_control() => {
+                if f.trigger.is_active(frame, &mut self.rng) {
+                    self.mark_injected(frame);
+                    let mut obs2 = obs.clone();
+                    let mut speed = obs2.sensors.speed;
+                    let mut gx = obs2.sensors.gps.position.x;
+                    let mut gy = obs2.sensors.gps.position.y;
+                    f.corrupt_sensors(&mut speed, &mut gx, &mut gy);
+                    obs2.sensors.speed = if speed.is_finite() { speed } else { 0.0 };
+                    obs2.sensors.gps.position.x = gx;
+                    obs2.sensors.gps.position.y = gy;
+                    corrupted = Some(obs2);
+                }
+            }
+            _ => {}
+        }
+        let effective_obs = corrupted.as_ref().unwrap_or(obs);
+
+        // --- The ADA computes its decision.
+        let input = DriverInput {
+            obs: effective_obs,
+            world,
+        };
+        let mut control = match &mut self.inner {
+            Inner::Expert(e) => e.drive(&input),
+            Inner::Neural(n) => n.drive(&input),
+        };
+
+        // --- Output FI: command-path hardware faults.
+        if let FaultSpec::Hardware(f) = &spec {
+            if f.target.is_control() && f.trigger.is_active(frame, &mut self.rng) {
+                self.mark_injected(frame);
+                control = f.corrupt_control(control);
+            }
+        }
+
+        // --- Timing FI: the actuation sees a delayed/dropped/reordered
+        // command stream.
+        if let Some(ch) = &mut self.timing {
+            control = ch.transfer(control, &mut self.rng);
+        }
+
+        control
+    }
+}
+
+impl Driver for AvDriver {
+    fn drive(&mut self, input: &DriverInput<'_>) -> VehicleControl {
+        self.drive_frame(input.obs, input.world)
+    }
+
+    fn name(&self) -> &'static str {
+        self.agent_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::hardware::{BitFaultModel, HardwareFault, HardwareTarget};
+    use crate::fault::input::{ImageFault, InputFault};
+    use crate::fault::timing::TimingFault;
+    use crate::trigger::Trigger;
+    use avfi_sim::scenario::{Scenario, TownSpec};
+
+    fn world() -> World {
+        let s = Scenario::builder(TownSpec::grid(2, 2))
+            .seed(9)
+            .npc_vehicles(0)
+            .pedestrians(0)
+            .build();
+        World::from_scenario(&s)
+    }
+
+    #[test]
+    fn clean_expert_matches_unwrapped() {
+        let mut w = world();
+        let obs = w.observe();
+        let mut wrapped = AvDriver::expert(FaultSpec::None, 1);
+        let direct = ExpertDriver::new().control_for(&w);
+        assert_eq!(wrapped.drive_frame(&obs, &w), direct);
+        assert!(wrapped.injection_time().is_none());
+    }
+
+    #[test]
+    fn stuck_brake_immobilizes() {
+        let mut w = world();
+        let spec = FaultSpec::Hardware(HardwareFault::always(
+            HardwareTarget::ControlBrake,
+            BitFaultModel::StuckAt { value: 1.0 },
+        ));
+        let mut drv = AvDriver::expert(spec, 2);
+        for _ in 0..45 {
+            let obs = w.observe();
+            let c = drv.drive_frame(&obs, &w);
+            assert_eq!(c.brake, 1.0);
+            w.step(c);
+        }
+        assert_eq!(w.ego().speed, 0.0);
+        assert_eq!(drv.injection_time(), Some(0.0));
+    }
+
+    #[test]
+    fn output_delay_shifts_behavior() {
+        // With a 15-frame delay, the first second of actuation is coasting
+        // even though the expert asks for throttle.
+        let mut w = world();
+        let spec = FaultSpec::Timing(TimingFault::OutputDelay { frames: 15 });
+        let mut drv = AvDriver::expert(spec, 3);
+        for i in 0..15 {
+            let obs = w.observe();
+            let c = drv.drive_frame(&obs, &w);
+            assert_eq!(c, VehicleControl::coast(), "frame {i} leaked early");
+            w.step(c);
+        }
+        let obs = w.observe();
+        let c = drv.drive_frame(&obs, &w);
+        assert!(c.throttle > 0.0, "delayed throttle should arrive now");
+    }
+
+    #[test]
+    fn input_fault_marks_injection_at_trigger() {
+        let mut w = world();
+        let spec = FaultSpec::Input(InputFault {
+            trigger: Trigger::From { frame: 10 },
+            ..InputFault::always(ImageFault::gaussian(0.2))
+        });
+        let mut drv = AvDriver::expert(spec, 4);
+        for _ in 0..10 {
+            let obs = w.observe();
+            let c = drv.drive_frame(&obs, &w);
+            w.step(c);
+            assert!(drv.injection_time().is_none());
+        }
+        let obs = w.observe();
+        let _ = drv.drive_frame(&obs, &w);
+        let t = drv.injection_time().expect("injection recorded");
+        assert!((t - 10.0 * FRAME_DT).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neural_with_input_fault_sees_corrupted_image() {
+        // The same world frame must produce different controls with and
+        // without heavy image noise (untrained net is still input
+        // sensitive).
+        let mut w = world();
+        let obs = w.observe();
+        let net1 = IlNetwork::new(11);
+        let net2 = IlNetwork::from_weights(&{
+            let mut n = IlNetwork::new(11);
+            n.to_weights()
+        })
+        .unwrap();
+        let mut clean = AvDriver::neural(net1, FaultSpec::None, 5);
+        let mut noisy = AvDriver::neural(
+            net2,
+            FaultSpec::Input(InputFault::always(ImageFault::gaussian(0.5))),
+            5,
+        );
+        let a = clean.drive_frame(&obs, &w);
+        let b = noisy.drive_frame(&obs, &w);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ml_fault_applied_at_construction() {
+        let mut base = IlNetwork::new(12);
+        let weights = base.to_weights();
+        let spec = FaultSpec::Ml(crate::fault::ml::MlFault::WeightNoise {
+            sigma: 0.8,
+            fraction: 1.0,
+            selector: crate::localizer::ParamSelector::All,
+        });
+        let mut w = world();
+        let obs = w.observe();
+        let mut clean = AvDriver::neural(
+            IlNetwork::from_weights(&weights).unwrap(),
+            FaultSpec::None,
+            6,
+        );
+        let mut faulty =
+            AvDriver::neural(IlNetwork::from_weights(&weights).unwrap(), spec, 6);
+        assert_eq!(faulty.injection_time(), Some(0.0));
+        let a = clean.drive_frame(&obs, &w);
+        let b = faulty.drive_frame(&obs, &w);
+        assert_ne!(a, b);
+    }
+}

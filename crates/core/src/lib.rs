@@ -1,0 +1,63 @@
+//! # avfi-core — the Autonomous Vehicle Fault Injector
+//!
+//! The primary contribution of Jha et al., *AVFI: Fault Injection for
+//! Autonomous Vehicles* (DSN 2018): an end-to-end resilience-assessment
+//! engine that injects faults into a simulated AV's
+//! sensor–compute–actuation pipeline and quantifies domain-specific
+//! failure metrics.
+//!
+//! AVFI runs fault-injection campaigns in two steps: "(a) selecting the
+//! location of faults (e.g., choosing specific neurons and layers in the
+//! IL-CNN) and (b) injecting the faults into the chosen locations using
+//! the fault models". The four fault classes of the paper map to modules
+//! here:
+//!
+//! | Paper class | Module | Examples |
+//! |---|---|---|
+//! | Data faults | [`fault::input`] | camera Gaussian/S&P noise, solid & transparent occlusions, water drops; GPS bias; speedometer corruption |
+//! | Hardware faults | [`fault::hardware`] | single/multi-bit flips and stuck-at on control commands and sensor scalars |
+//! | Timing faults | [`fault::timing`] | output delay between ADA and actuation, frame drops, out-of-order delivery |
+//! | Machine-learning faults | [`fault::ml`] | weight noise, weight bit flips, stuck-at neurons in the IL-CNN |
+//!
+//! Fault *location* selection lives in [`localizer`], *when* to inject in
+//! [`trigger`], and the wrapper that applies everything around a driving
+//! agent in [`harness`]. [`campaign`] runs seeded, parallel campaigns;
+//! [`metrics`] computes the paper's resilience metrics (MSR, VPK, APK,
+//! TTV); [`stats`] and [`report`] summarize and render results.
+//!
+//! ## Quick example
+//!
+//! ```no_run
+//! use avfi_core::campaign::{AgentSpec, CampaignConfig, Campaign};
+//! use avfi_core::fault::FaultSpec;
+//! use avfi_core::fault::input::{ImageFault, InputFault};
+//! use avfi_core::metrics;
+//! use avfi_sim::scenario::{Scenario, TownSpec};
+//!
+//! let scenario = Scenario::builder(TownSpec::grid(3, 3)).build();
+//! let config = CampaignConfig::builder(vec![scenario])
+//!     .agent(AgentSpec::Expert)
+//!     .fault(FaultSpec::Input(InputFault::always(ImageFault::gaussian(0.1))))
+//!     .runs_per_scenario(5)
+//!     .build();
+//! let result = Campaign::new(config).run();
+//! println!("MSR = {:.1}%", metrics::mission_success_rate(result.runs()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod compare;
+pub mod fault;
+pub mod harness;
+pub mod localizer;
+pub mod metrics;
+pub mod report;
+pub mod stats;
+pub mod trigger;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignResult, RunResult};
+pub use fault::FaultSpec;
+pub use harness::AvDriver;
+pub use trigger::Trigger;

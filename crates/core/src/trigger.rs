@@ -1,0 +1,100 @@
+//! Injection schedules: *when* a configured fault is active.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// When an injector fires, in frames (15 frames = 1 s).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// Active on every frame of the run.
+    Always,
+    /// Active from a frame onward (models a permanent fault that appears
+    /// mid-mission — the TTV experiments use this).
+    From {
+        /// First active frame.
+        frame: u64,
+    },
+    /// Active inside a frame window (transient fault).
+    Window {
+        /// First active frame.
+        start: u64,
+        /// First inactive frame after the window.
+        end: u64,
+    },
+    /// Independently active each frame with probability `p` (intermittent
+    /// fault).
+    Bernoulli {
+        /// Per-frame activation probability.
+        p: f64,
+    },
+}
+
+impl Trigger {
+    /// Whether the fault is active at `frame`. Bernoulli triggers draw
+    /// from `rng` (exactly one draw per query, keeping runs reproducible).
+    pub fn is_active(&self, frame: u64, rng: &mut StdRng) -> bool {
+        match *self {
+            Trigger::Always => true,
+            Trigger::From { frame: f0 } => frame >= f0,
+            Trigger::Window { start, end } => frame >= start && frame < end,
+            Trigger::Bernoulli { p } => rng.random_range(0.0..1.0) < p,
+        }
+    }
+
+    /// The earliest frame this trigger can fire (None for Bernoulli —
+    /// unknown until run time).
+    pub fn earliest_frame(&self) -> Option<u64> {
+        match *self {
+            Trigger::Always => Some(0),
+            Trigger::From { frame } => Some(frame),
+            Trigger::Window { start, .. } => Some(start),
+            Trigger::Bernoulli { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avfi_sim::rng::stream_rng;
+
+    #[test]
+    fn always_and_from() {
+        let mut rng = stream_rng(1, 0);
+        assert!(Trigger::Always.is_active(0, &mut rng));
+        let t = Trigger::From { frame: 10 };
+        assert!(!t.is_active(9, &mut rng));
+        assert!(t.is_active(10, &mut rng));
+        assert!(t.is_active(999, &mut rng));
+    }
+
+    #[test]
+    fn window_half_open() {
+        let mut rng = stream_rng(2, 0);
+        let t = Trigger::Window { start: 5, end: 8 };
+        assert!(!t.is_active(4, &mut rng));
+        assert!(t.is_active(5, &mut rng));
+        assert!(t.is_active(7, &mut rng));
+        assert!(!t.is_active(8, &mut rng));
+    }
+
+    #[test]
+    fn bernoulli_rate_approximate() {
+        let mut rng = stream_rng(3, 0);
+        let t = Trigger::Bernoulli { p: 0.25 };
+        let hits = (0..4000).filter(|f| t.is_active(*f, &mut rng)).count();
+        assert!((hits as f64 / 4000.0 - 0.25).abs() < 0.03, "hits={hits}");
+    }
+
+    #[test]
+    fn earliest_frames() {
+        assert_eq!(Trigger::Always.earliest_frame(), Some(0));
+        assert_eq!(Trigger::From { frame: 7 }.earliest_frame(), Some(7));
+        assert_eq!(
+            Trigger::Window { start: 3, end: 9 }.earliest_frame(),
+            Some(3)
+        );
+        assert_eq!(Trigger::Bernoulli { p: 0.5 }.earliest_frame(), None);
+    }
+}

@@ -1,0 +1,143 @@
+//! Smoke matrix: every fault class × every trigger kind runs a short
+//! mission end-to-end without panics, records sane run results, and
+//! reports injection times consistent with its trigger.
+
+use avfi_core::campaign::{run_single, AgentSpec};
+use avfi_core::fault::hardware::{BitFaultModel, HardwareFault, HardwareTarget};
+use avfi_core::fault::input::{GpsFault, ImageFault, InputFault, LidarFault, SpeedFault};
+use avfi_core::fault::ml::MlFault;
+use avfi_core::fault::timing::TimingFault;
+use avfi_core::fault::FaultSpec;
+use avfi_core::localizer::ParamSelector;
+use avfi_core::trigger::Trigger;
+use avfi_sim::scenario::{Scenario, TownSpec};
+
+fn scenario() -> Scenario {
+    let mut town = TownSpec::grid(2, 2);
+    town.signalized = false;
+    Scenario::builder(town)
+        .seed(404)
+        .npc_vehicles(1)
+        .pedestrians(1)
+        .time_budget(15.0)
+        .min_route_length(60.0)
+        .build()
+}
+
+fn all_triggers() -> Vec<Trigger> {
+    vec![
+        Trigger::Always,
+        Trigger::From { frame: 30 },
+        Trigger::Window { start: 15, end: 60 },
+        Trigger::Bernoulli { p: 0.2 },
+    ]
+}
+
+#[test]
+fn input_faults_with_every_trigger() {
+    for model in ImageFault::paper_suite() {
+        for trigger in all_triggers() {
+            let spec = FaultSpec::Input(InputFault {
+                trigger,
+                ..InputFault::always(model)
+            });
+            let r = run_single(&scenario(), 0, 0, &spec, &AgentSpec::Expert);
+            assert!(r.duration > 0.0, "{spec:?}");
+            assert!(r.distance_km.is_finite());
+            if let Some(t) = r.injection_time {
+                assert!(t >= 0.0 && t <= r.duration + 1e-9, "{spec:?}: t={t}");
+            }
+        }
+    }
+}
+
+#[test]
+fn composite_input_fault_all_sensors() {
+    let spec = FaultSpec::Input(
+        InputFault::always(ImageFault::gaussian(0.1))
+            .with_gps(GpsFault {
+                bias_x: 10.0,
+                bias_y: -5.0,
+                sigma: 2.0,
+            })
+            .with_speed(SpeedFault::Scale(0.5))
+            .with_lidar(LidarFault::Ghost {
+                count: 4,
+                range: 2.0,
+            }),
+    );
+    let r = run_single(&scenario(), 0, 0, &spec, &AgentSpec::Expert);
+    assert_eq!(r.injection_time, Some(0.0));
+    assert!(r.duration > 1.0);
+}
+
+#[test]
+fn hardware_faults_every_target() {
+    for target in HardwareTarget::ALL {
+        for model in [
+            BitFaultModel::SingleBitFlip { bit: 63 },
+            BitFaultModel::MultiBitFlip { bits: vec![50, 60] },
+            BitFaultModel::StuckAt { value: 0.25 },
+        ] {
+            let spec = FaultSpec::Hardware(HardwareFault {
+                target,
+                model: model.clone(),
+                trigger: Trigger::Bernoulli { p: 0.3 },
+            });
+            let r = run_single(&scenario(), 0, 0, &spec, &AgentSpec::Expert);
+            assert!(r.distance_km.is_finite(), "{target:?} {model:?}");
+            assert!(r.violations.iter().all(|v| v.time <= r.duration + 1e-9));
+        }
+    }
+}
+
+#[test]
+fn timing_faults_all_variants() {
+    for fault in [
+        TimingFault::OutputDelay { frames: 7 },
+        TimingFault::DropFrames { p: 0.4 },
+        TimingFault::Reorder { window: 5 },
+    ] {
+        let spec = FaultSpec::Timing(fault);
+        let r = run_single(&scenario(), 0, 0, &spec, &AgentSpec::Expert);
+        assert_eq!(r.injection_time, Some(0.0), "{spec:?}");
+        assert!(r.duration > 1.0);
+    }
+}
+
+#[test]
+fn ml_faults_all_variants_on_neural_agent() {
+    let mut net = avfi_agent::IlNetwork::new(77);
+    let agent = AgentSpec::neural(&mut net);
+    for fault in [
+        MlFault::WeightNoise {
+            sigma: 0.1,
+            fraction: 0.5,
+            selector: ParamSelector::Prefix("trunk.".into()),
+        },
+        MlFault::WeightBitFlip {
+            flips: 3,
+            selector: ParamSelector::WeightsOnly,
+        },
+        MlFault::NeuronStuckAt {
+            layer: 3,
+            unit: 7,
+            value: 10.0,
+        },
+    ] {
+        let spec = FaultSpec::Ml(fault);
+        let r = run_single(&scenario(), 0, 0, &spec, &agent);
+        assert_eq!(r.injection_time, Some(0.0), "{spec:?}");
+        assert_eq!(r.agent, "il-cnn");
+    }
+}
+
+#[test]
+fn run_results_serialize_to_json() {
+    let spec = FaultSpec::Input(InputFault::always(ImageFault::salt_pepper(0.05)));
+    let r = run_single(&scenario(), 0, 0, &spec, &AgentSpec::Expert);
+    let json = serde_json::to_string(&r).expect("serializable");
+    let back: avfi_core::campaign::RunResult = serde_json::from_str(&json).expect("roundtrip");
+    assert_eq!(back.fault, r.fault);
+    assert_eq!(back.violations.len(), r.violations.len());
+}

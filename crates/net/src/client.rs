@@ -1,0 +1,144 @@
+//! The agent client: receives observations, answers with controls.
+
+use crate::error::NetError;
+use crate::message::Message;
+use crate::transport::Transport;
+use avfi_sim::physics::VehicleControl;
+use avfi_sim::world::WorldObservation;
+
+/// The agent-side endpoint of the lockstep protocol.
+///
+/// A typical client loop:
+///
+/// ```no_run
+/// # use avfi_net::{SimClient, TcpTransport};
+/// # use avfi_sim::physics::VehicleControl;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let transport = TcpTransport::connect("127.0.0.1:2000")?;
+/// let mut client = SimClient::new(transport);
+/// while let Some(obs) = client.recv_observation()? {
+///     let control = VehicleControl::new(0.0, 0.5, 0.0); // your ADA here
+///     client.send_control(obs.sensors.frame, control)?;
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SimClient<T> {
+    transport: T,
+}
+
+impl<T: Transport> SimClient<T> {
+    /// Creates a client over a transport endpoint.
+    pub fn new(transport: T) -> Self {
+        SimClient { transport }
+    }
+
+    /// Waits for the next observation. Returns `None` on an orderly
+    /// `Shutdown` from the server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; a `Control` message from the server
+    /// is a protocol error.
+    pub fn recv_observation(&mut self) -> Result<Option<WorldObservation>, NetError> {
+        match self.transport.recv()? {
+            Message::Observation(obs) => Ok(Some(*obs)),
+            Message::Shutdown => Ok(None),
+            other => Err(NetError::Protocol(format!(
+                "unexpected {} from server",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Sends the actuation command answering frame `frame`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send_control(&mut self, frame: u64, control: VehicleControl) -> Result<(), NetError> {
+        self.transport.send(Message::Control { frame, control })
+    }
+
+    /// Ends the session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn shutdown(&mut self) -> Result<(), NetError> {
+        self.transport.send(Message::Shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SimServer;
+    use crate::transport::{InProcTransport, TcpTransport};
+    use avfi_sim::scenario::{Scenario, TownSpec};
+    use avfi_sim::world::{MissionStatus, World};
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn world(budget: f64) -> World {
+        let s = Scenario::builder(TownSpec::grid(2, 2))
+            .seed(2)
+            .npc_vehicles(0)
+            .pedestrians(0)
+            .time_budget(budget)
+            .build();
+        World::from_scenario(&s)
+    }
+
+    #[test]
+    fn full_loop_in_process() {
+        let (server_end, client_end) = InProcTransport::pair();
+        let mut server = SimServer::new(world(2.0), server_end);
+        let handle = thread::spawn(move || server.serve_mission().unwrap());
+        let mut client = SimClient::new(client_end);
+        let mut seen = 0;
+        while let Some(obs) = client.recv_observation().unwrap() {
+            client
+                .send_control(obs.sensors.frame, VehicleControl::new(0.0, 0.5, 0.0))
+                .unwrap();
+            seen += 1;
+        }
+        assert_eq!(handle.join().unwrap(), MissionStatus::Timeout);
+        assert_eq!(seen, 30);
+    }
+
+    #[test]
+    fn full_loop_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server_thread = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let transport = TcpTransport::new(stream).unwrap();
+            let mut server = SimServer::new(world(1.0), transport);
+            server.serve_mission().unwrap()
+        });
+        let mut client = SimClient::new(TcpTransport::connect(&addr.to_string()).unwrap());
+        let mut seen = 0;
+        while let Some(obs) = client.recv_observation().unwrap() {
+            client
+                .send_control(obs.sensors.frame, VehicleControl::coast())
+                .unwrap();
+            seen += 1;
+        }
+        assert_eq!(server_thread.join().unwrap(), MissionStatus::Timeout);
+        assert_eq!(seen, 15);
+    }
+
+    #[test]
+    fn early_shutdown_from_client() {
+        let (server_end, client_end) = InProcTransport::pair();
+        let mut server = SimServer::new(world(100.0), server_end);
+        let handle = thread::spawn(move || server.serve_mission().unwrap());
+        let mut client = SimClient::new(client_end);
+        let obs = client.recv_observation().unwrap().unwrap();
+        assert_eq!(obs.sensors.frame, 0);
+        client.shutdown().unwrap();
+        assert_eq!(handle.join().unwrap(), MissionStatus::Running);
+    }
+}

@@ -1,0 +1,102 @@
+//! Frame clock: lockstep frame accounting with optional real-time pacing.
+
+use std::time::{Duration, Instant};
+
+/// Tracks frame numbers and (optionally) paces a loop to a fixed frame
+/// rate.
+///
+/// In lockstep simulation the clock is purely virtual — `tick` just counts.
+/// With pacing enabled (demo/replay mode) `tick` sleeps so that frames are
+/// emitted at the configured rate in wall-clock time.
+#[derive(Debug)]
+pub struct FrameClock {
+    fps: u32,
+    frame: u64,
+    pacing: bool,
+    started: Instant,
+}
+
+impl FrameClock {
+    /// Creates a virtual (non-pacing) clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps == 0`.
+    pub fn new(fps: u32) -> Self {
+        assert!(fps > 0, "fps must be non-zero");
+        FrameClock {
+            fps,
+            frame: 0,
+            pacing: false,
+            started: Instant::now(),
+        }
+    }
+
+    /// Creates a clock that sleeps in `tick` to hold `fps` in wall time.
+    pub fn with_pacing(fps: u32) -> Self {
+        let mut c = Self::new(fps);
+        c.pacing = true;
+        c
+    }
+
+    /// Configured frame rate.
+    pub fn fps(&self) -> u32 {
+        self.fps
+    }
+
+    /// Frames ticked so far.
+    pub fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    /// Virtual time corresponding to the current frame, seconds.
+    pub fn virtual_time(&self) -> f64 {
+        self.frame as f64 / self.fps as f64
+    }
+
+    /// Advances one frame, sleeping when pacing is enabled.
+    pub fn tick(&mut self) {
+        self.frame += 1;
+        if self.pacing {
+            let target = self.started + Duration::from_secs_f64(self.virtual_time());
+            let now = Instant::now();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_counts() {
+        let mut c = FrameClock::new(15);
+        for _ in 0..30 {
+            c.tick();
+        }
+        assert_eq!(c.frame(), 30);
+        assert!((c.virtual_time() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pacing_holds_rate() {
+        let mut c = FrameClock::with_pacing(200);
+        let t0 = Instant::now();
+        for _ in 0..20 {
+            c.tick();
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        // 20 frames at 200 fps = 100 ms; allow generous slack for CI.
+        assert!(elapsed >= 0.09, "elapsed={elapsed}");
+        assert!(elapsed < 1.0, "elapsed={elapsed}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fps")]
+    fn zero_fps_rejected() {
+        let _ = FrameClock::new(0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Length-prefixed message framing.
+//!
+//! Wire format per frame: `u32` little-endian payload length, then the
+//! JSON-serialized [`Message`]. Built on [`bytes`] so partially received
+//! frames accumulate without copying.
+
+use crate::error::NetError;
+use crate::message::Message;
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Maximum accepted payload size (guards against corrupt length prefixes).
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Encodes one message into a length-prefixed frame.
+///
+/// # Errors
+///
+/// Returns [`NetError::Codec`] if serialization fails (it cannot for the
+/// message types in this crate, but the API is honest).
+pub fn encode(msg: &Message, out: &mut BytesMut) -> Result<(), NetError> {
+    let payload = serde_json::to_vec(msg).map_err(|e| NetError::Codec(e.to_string()))?;
+    out.reserve(4 + payload.len());
+    out.put_u32_le(payload.len() as u32);
+    out.put_slice(&payload);
+    Ok(())
+}
+
+/// Attempts to decode one message from the accumulation buffer.
+///
+/// Returns `Ok(None)` when more bytes are needed; consumed bytes are
+/// removed from `buf`.
+///
+/// # Errors
+///
+/// Returns [`NetError::Codec`] on an oversized length prefix or malformed
+/// payload.
+pub fn decode(buf: &mut BytesMut) -> Result<Option<Message>, NetError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME {
+        return Err(NetError::Codec(format!("frame of {len} bytes exceeds cap")));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let payload = buf.split_to(len);
+    let msg = serde_json::from_slice(&payload).map_err(|e| NetError::Codec(e.to_string()))?;
+    Ok(Some(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avfi_sim::physics::VehicleControl;
+
+    fn ctrl(frame: u64) -> Message {
+        Message::Control {
+            frame,
+            control: VehicleControl::new(-0.25, 0.5, 0.0),
+        }
+    }
+
+    #[test]
+    fn roundtrip_single() {
+        let mut buf = BytesMut::new();
+        encode(&ctrl(7), &mut buf).unwrap();
+        let got = decode(&mut buf).unwrap().unwrap();
+        assert_eq!(got, ctrl(7));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn partial_frame_waits() {
+        let mut full = BytesMut::new();
+        encode(&ctrl(1), &mut full).unwrap();
+        let mut buf = BytesMut::new();
+        // Feed one byte at a time; decode must return None until complete.
+        for (i, b) in full.iter().enumerate() {
+            buf.put_u8(*b);
+            let r = decode(&mut buf).unwrap();
+            if i + 1 < full.len() {
+                assert!(r.is_none(), "decoded early at byte {i}");
+            } else {
+                assert_eq!(r.unwrap(), ctrl(1));
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_frames_in_one_buffer() {
+        let mut buf = BytesMut::new();
+        encode(&ctrl(1), &mut buf).unwrap();
+        encode(&Message::Shutdown, &mut buf).unwrap();
+        encode(&ctrl(3), &mut buf).unwrap();
+        assert_eq!(decode(&mut buf).unwrap().unwrap(), ctrl(1));
+        assert_eq!(decode(&mut buf).unwrap().unwrap(), Message::Shutdown);
+        assert_eq!(decode(&mut buf).unwrap().unwrap(), ctrl(3));
+        assert!(decode(&mut buf).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        buf.put_slice(b"junk");
+        assert!(matches!(decode(&mut buf), Err(NetError::Codec(_))));
+    }
+
+    #[test]
+    fn garbage_payload_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(4);
+        buf.put_slice(b"{{{{");
+        assert!(matches!(decode(&mut buf), Err(NetError::Codec(_))));
+    }
+}

@@ -1,0 +1,60 @@
+//! Error types for the client/server loop.
+
+use std::fmt;
+
+/// Errors from transports and protocol endpoints.
+#[derive(Debug)]
+pub enum NetError {
+    /// The peer hung up (channel closed or socket EOF).
+    Disconnected,
+    /// A frame could not be decoded.
+    Codec(String),
+    /// Underlying socket I/O failed.
+    Io(std::io::Error),
+    /// The peer sent a message that is invalid in the current protocol
+    /// state (e.g. an observation where a control was expected).
+    Protocol(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Codec(e) => write!(f, "codec error: {e}"),
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(NetError::Disconnected.to_string(), "peer disconnected");
+        assert!(NetError::Codec("bad".into()).to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<NetError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! # avfi-net — the sensor–compute–actuate loop
+//!
+//! CARLA "operates by running two components, the server and the client.
+//! The server is responsible for generating the virtual urban environments,
+//! and the client functions as an ADA \[autonomous driving agent\]. The
+//! server sends sensor data, along with other measurements of the car, to
+//! the client; \[the client's\] decisions are then sent from the client to
+//! the server, which applies those commands to the AV's actuators."
+//!
+//! This crate reproduces that loop in lockstep (CARLA synchronous mode) at
+//! 15 FPS:
+//!
+//! * [`message::Message`] — the protocol: observation frames down,
+//!   control commands up,
+//! * [`codec`] — length-prefixed framing (built on [`bytes`]),
+//! * [`transport`] — an in-process channel transport (crossbeam) and a
+//!   real localhost TCP transport,
+//! * [`server::SimServer`] / [`client::SimClient`] — the two endpoints,
+//! * [`clock::FrameClock`] — frame accounting and optional real-time
+//!   pacing.
+//!
+//! AVFI's *timing faults* target exactly this seam ("delays in flow of
+//! data from one component of the AV system to another"); the fault
+//! injectors in `avfi-core` wrap the command and observation streams these
+//! types carry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod clock;
+pub mod codec;
+pub mod error;
+pub mod message;
+pub mod server;
+pub mod transport;
+
+pub use client::SimClient;
+pub use error::NetError;
+pub use message::Message;
+pub use server::SimServer;
+pub use transport::{InProcTransport, TcpTransport, Transport};

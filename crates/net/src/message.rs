@@ -1,0 +1,62 @@
+//! Protocol messages exchanged between the world server and the agent
+//! client.
+
+use avfi_sim::physics::VehicleControl;
+use avfi_sim::world::WorldObservation;
+use serde::{Deserialize, Serialize};
+
+/// One protocol message.
+///
+/// The lockstep protocol is strictly alternating: the server sends an
+/// [`Message::Observation`], the client answers with a [`Message::Control`]
+/// for the same frame, and the server advances the world by one step.
+/// `Shutdown` ends the session from either side.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Server → client: sensor frame plus car measurements.
+    Observation(Box<WorldObservation>),
+    /// Client → server: actuation command for a frame.
+    Control {
+        /// Frame the command answers (echo of the observation frame).
+        frame: u64,
+        /// The actuation command.
+        control: VehicleControl,
+    },
+    /// Either side: end the session.
+    Shutdown,
+}
+
+impl Message {
+    /// Short tag for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Observation(_) => "observation",
+            Message::Control { .. } => "control",
+            Message::Shutdown => "shutdown",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_roundtrips_through_json() {
+        let m = Message::Control {
+            frame: 42,
+            control: VehicleControl::new(0.5, 1.0, 0.0),
+        };
+        let s = serde_json::to_string(&m).unwrap();
+        let back: Message = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(back.kind(), "control");
+    }
+
+    #[test]
+    fn shutdown_roundtrips() {
+        let s = serde_json::to_string(&Message::Shutdown).unwrap();
+        let back: Message = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, Message::Shutdown);
+    }
+}

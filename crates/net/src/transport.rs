@@ -1,0 +1,182 @@
+//! Message transports: in-process channels and localhost TCP.
+
+use crate::codec;
+use crate::error::NetError;
+use crate::message::Message;
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// A bidirectional, blocking message pipe.
+///
+/// Implementations must be usable from one thread at a time; the lockstep
+/// protocol never needs concurrent send/recv on one endpoint.
+pub trait Transport {
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] if the peer is gone, or an I/O /
+    /// codec error for socket transports.
+    fn send(&mut self, msg: Message) -> Result<(), NetError>;
+
+    /// Receives the next message, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] if the peer is gone.
+    fn recv(&mut self) -> Result<Message, NetError>;
+}
+
+/// In-process transport endpoint backed by crossbeam channels — the fast
+/// path used by campaign runners (no serialization).
+#[derive(Debug)]
+pub struct InProcTransport {
+    tx: Sender<Message>,
+    rx: Receiver<Message>,
+}
+
+impl InProcTransport {
+    /// Creates a connected pair of endpoints.
+    pub fn pair() -> (InProcTransport, InProcTransport) {
+        let (atx, arx) = unbounded();
+        let (btx, brx) = unbounded();
+        (
+            InProcTransport { tx: atx, rx: brx },
+            InProcTransport { tx: btx, rx: arx },
+        )
+    }
+}
+
+impl Transport for InProcTransport {
+    fn send(&mut self, msg: Message) -> Result<(), NetError> {
+        self.tx.send(msg).map_err(|_| NetError::Disconnected)
+    }
+
+    fn recv(&mut self) -> Result<Message, NetError> {
+        self.rx.recv().map_err(|_| NetError::Disconnected)
+    }
+}
+
+/// TCP transport endpoint: length-prefixed frames over a socket, the
+/// faithful reproduction of CARLA's client/server link.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    inbox: BytesMut,
+}
+
+impl TcpTransport {
+    /// Wraps a connected stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if `TCP_NODELAY` cannot be set (lockstep
+    /// latency would otherwise be dominated by Nagle's algorithm).
+    pub fn new(stream: TcpStream) -> Result<Self, NetError> {
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport {
+            stream,
+            inbox: BytesMut::with_capacity(64 * 1024),
+        })
+    }
+
+    /// Connects to a listening server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> Result<Self, NetError> {
+        Ok(Self::new(TcpStream::connect(addr)?)?)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, msg: Message) -> Result<(), NetError> {
+        let mut buf = BytesMut::new();
+        codec::encode(&msg, &mut buf)?;
+        self.stream.write_all(&buf)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Message, NetError> {
+        loop {
+            if let Some(msg) = codec::decode(&mut self.inbox)? {
+                return Ok(msg);
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(NetError::Disconnected);
+            }
+            self.inbox.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avfi_sim::physics::VehicleControl;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn ctrl(frame: u64) -> Message {
+        Message::Control {
+            frame,
+            control: VehicleControl::new(0.1, 0.9, 0.0),
+        }
+    }
+
+    #[test]
+    fn inproc_roundtrip() {
+        let (mut a, mut b) = InProcTransport::pair();
+        a.send(ctrl(1)).unwrap();
+        assert_eq!(b.recv().unwrap(), ctrl(1));
+        b.send(Message::Shutdown).unwrap();
+        assert_eq!(a.recv().unwrap(), Message::Shutdown);
+    }
+
+    #[test]
+    fn inproc_disconnect_detected() {
+        let (mut a, b) = InProcTransport::pair();
+        drop(b);
+        assert!(matches!(a.send(ctrl(1)), Err(NetError::Disconnected)));
+        assert!(matches!(a.recv(), Err(NetError::Disconnected)));
+    }
+
+    #[test]
+    fn tcp_roundtrip_localhost() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::new(stream).unwrap();
+            // Echo 10 messages back.
+            for _ in 0..10 {
+                let m = t.recv().unwrap();
+                t.send(m).unwrap();
+            }
+        });
+        let mut c = TcpTransport::connect(&addr.to_string()).unwrap();
+        for i in 0..10 {
+            c.send(ctrl(i)).unwrap();
+            assert_eq!(c.recv().unwrap(), ctrl(i));
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_disconnect_detected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream);
+        });
+        let mut c = TcpTransport::connect(&addr.to_string()).unwrap();
+        server.join().unwrap();
+        assert!(matches!(c.recv(), Err(NetError::Disconnected)));
+    }
+}

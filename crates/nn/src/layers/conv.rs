@@ -1,0 +1,239 @@
+//! 2-D convolution layer.
+
+use super::{Layer, ParamSlice};
+use crate::init::he_uniform;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// A 2-D convolution over `[C, H, W]` tensors with square kernels.
+///
+/// Output shape is `[out_ch, H', W']` with
+/// `H' = (H + 2·pad − k) / stride + 1` (and likewise for `W'`).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    /// `[out_ch × in_ch × k × k]`.
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weight: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-uniform weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `in_ch`, `out_ch`, `k`, `stride` is zero.
+    pub fn new<R: Rng + ?Sized>(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && k > 0 && stride > 0);
+        let n = out_ch * in_ch * k * k;
+        let mut weight = vec![0.0; n];
+        he_uniform(rng, in_ch * k * k, &mut weight);
+        Conv2d {
+            in_ch,
+            out_ch,
+            k,
+            stride,
+            pad,
+            weight,
+            bias: vec![0.0; out_ch],
+            grad_weight: vec![0.0; n],
+            grad_bias: vec![0.0; out_ch],
+            cached_input: None,
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad - self.k) / self.stride + 1;
+        let ow = (w + 2 * self.pad - self.k) / self.stride + 1;
+        (oh, ow)
+    }
+
+    #[inline]
+    fn w_idx(&self, o: usize, c: usize, ky: usize, kx: usize) -> usize {
+        ((o * self.in_ch + c) * self.k + ky) * self.k + kx
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 3, "conv2d expects [C, H, W]");
+        assert_eq!(shape[0], self.in_ch, "channel mismatch");
+        let (h, w) = (shape[1], shape[2]);
+        let (oh, ow) = self.out_hw(h, w);
+        let x = input.data();
+        let mut y = vec![0.0f32; self.out_ch * oh * ow];
+        for o in 0..self.out_ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = self.bias[o];
+                    let y0 = (oy * self.stride) as isize - self.pad as isize;
+                    let x0 = (ox * self.stride) as isize - self.pad as isize;
+                    for c in 0..self.in_ch {
+                        for ky in 0..self.k {
+                            let iy = y0 + ky as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let ix = x0 + kx as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xi = x[(c * h + iy as usize) * w + ix as usize];
+                                acc += self.weight[self.w_idx(o, c, ky, kx)] * xi;
+                            }
+                        }
+                    }
+                    y[(o * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Tensor::from_vec(y, vec![self.out_ch, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let shape = input.shape().to_vec();
+        let (h, w) = (shape[1], shape[2]);
+        let (oh, ow) = self.out_hw(h, w);
+        assert_eq!(grad_out.shape(), &[self.out_ch, oh, ow]);
+        let x = input.data();
+        let gy = grad_out.data();
+        let mut gx = vec![0.0f32; x.len()];
+        for o in 0..self.out_ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = gy[(o * oh + oy) * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.grad_bias[o] += g;
+                    let y0 = (oy * self.stride) as isize - self.pad as isize;
+                    let x0 = (ox * self.stride) as isize - self.pad as isize;
+                    for c in 0..self.in_ch {
+                        for ky in 0..self.k {
+                            let iy = y0 + ky as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let ix = x0 + kx as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xi_idx = (c * h + iy as usize) * w + ix as usize;
+                                let wi = self.w_idx(o, c, ky, kx);
+                                self.grad_weight[wi] += g * x[xi_idx];
+                                gx[xi_idx] += g * self.weight[wi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(gx, shape)
+    }
+
+    fn params(&mut self) -> Vec<ParamSlice<'_>> {
+        vec![
+            ParamSlice {
+                name: "weight".to_string(),
+                values: &mut self.weight,
+                grads: &mut self.grad_weight,
+            },
+            ParamSlice {
+                name: "bias".to_string(),
+                values: &mut self.bias,
+                grads: &mut self.grad_bias,
+            },
+        ]
+    }
+
+    fn kind(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::testutil::check_input_gradient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
+        {
+            let mut ps = conv.params();
+            ps[0].values.fill(0.0);
+            ps[0].values[4] = 1.0; // center tap
+            ps[1].values.fill(0.0);
+        }
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), vec![1, 4, 4]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 4, 4]);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn output_shape_with_stride() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut conv = Conv2d::new(3, 8, 3, 2, 1, &mut rng);
+        let x = Tensor::zeros(vec![3, 24, 32]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[8, 12, 16]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::from_vec(
+            (0..2 * 5 * 4).map(|v| ((v % 7) as f32 - 3.0) * 0.2).collect(),
+            vec![2, 5, 4],
+        );
+        check_input_gradient(&mut conv, &x, 2e-2);
+    }
+
+    #[test]
+    fn bias_shifts_every_output() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        {
+            let mut ps = conv.params();
+            ps[0].values[0] = 0.0;
+            ps[1].values[0] = 2.5;
+        }
+        let y = conv.forward(&Tensor::zeros(vec![1, 2, 2]), false);
+        assert!(y.data().iter().all(|v| (*v - 2.5).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn rejects_wrong_channels() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut conv = Conv2d::new(3, 1, 3, 1, 1, &mut rng);
+        let _ = conv.forward(&Tensor::zeros(vec![1, 4, 4]), false);
+    }
+}

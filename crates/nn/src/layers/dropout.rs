@@ -1,0 +1,118 @@
+//! Inverted dropout layer.
+
+use super::Layer;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Inverted dropout: during training each unit is zeroed with probability
+/// `rate` and survivors are scaled by `1/(1-rate)`; at inference it is the
+/// identity.
+#[derive(Debug)]
+pub struct Dropout {
+    rate: f32,
+    rng: StdRng,
+    mask: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `rate` and its own
+    /// deterministic RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ rate < 1`.
+    pub fn new(rate: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "rate must be in [0, 1)");
+        Dropout {
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+            mask: Vec::new(),
+            shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.shape = input.shape().to_vec();
+        if !train || self.rate == 0.0 {
+            self.mask = vec![1.0; input.len()];
+            return input.clone();
+        }
+        let keep = 1.0 - self.rate;
+        self.mask = (0..input.len())
+            .map(|_| {
+                if self.rng.random_range(0.0f32..1.0) < self.rate {
+                    0.0
+                } else {
+                    1.0 / keep
+                }
+            })
+            .collect();
+        Tensor::from_vec(
+            input
+                .data()
+                .iter()
+                .zip(&self.mask)
+                .map(|(x, m)| x * m)
+                .collect(),
+            self.shape.clone(),
+        )
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward");
+        Tensor::from_vec(
+            grad_out
+                .data()
+                .iter()
+                .zip(&self.mask)
+                .map(|(g, m)| g * m)
+                .collect(),
+            self.shape.clone(),
+        )
+    }
+
+    fn kind(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], vec![3]);
+        let y = d.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn training_zeroes_and_rescales() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::from_vec(vec![1.0; 1000], vec![1000]);
+        let y = d.forward(&x, true);
+        let zeros = y.data().iter().filter(|v| **v == 0.0).count();
+        assert!(zeros > 350 && zeros < 650, "zeros={zeros}");
+        // Survivors are scaled by 2.
+        assert!(y.data().iter().all(|v| *v == 0.0 || (*v - 2.0).abs() < 1e-6));
+        // Expected value preserved approximately.
+        assert!((y.mean() - 1.0).abs() < 0.15, "mean={}", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::from_vec(vec![1.0; 64], vec![64]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::from_vec(vec![1.0; 64], vec![64]));
+        for (yo, go) in y.data().iter().zip(g.data()) {
+            assert_eq!(*yo == 0.0, *go == 0.0);
+        }
+    }
+}

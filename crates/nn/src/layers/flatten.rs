@@ -1,0 +1,52 @@
+//! Flatten layer.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// Reshapes any tensor to a flat vector (and back during backprop).
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.cached_shape = input.shape().to_vec();
+        input.clone().reshaped(vec![input.len()])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            !self.cached_shape.is_empty(),
+            "backward called before forward"
+        );
+        grad_out.clone().reshaped(self.cached_shape.clone())
+    }
+
+    fn kind(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), vec![3, 2, 2]);
+        let y = f.forward(&x, false);
+        assert_eq!(y.shape(), &[12]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), &[3, 2, 2]);
+        assert_eq!(g.data(), x.data());
+    }
+}

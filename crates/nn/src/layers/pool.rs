@@ -1,0 +1,118 @@
+//! Max-pooling layer.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// 2-D max pooling over `[C, H, W]` tensors with a square window and equal
+/// stride (the common `k = stride` configuration).
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    k: usize,
+    /// Per-output index of the winning input element (for backward).
+    cached_argmax: Vec<usize>,
+    cached_in_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with window and stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "window must be non-zero");
+        MaxPool2d {
+            k,
+            cached_argmax: Vec::new(),
+            cached_in_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 3, "maxpool expects [C, H, W]");
+        let (c, h, w) = (shape[0], shape[1], shape[2]);
+        let oh = h / self.k;
+        let ow = w / self.k;
+        assert!(oh > 0 && ow > 0, "input smaller than window");
+        let x = input.data();
+        let mut y = vec![f32::NEG_INFINITY; c * oh * ow];
+        let mut amax = vec![0usize; c * oh * ow];
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let oi = (ch * oh + oy) * ow + ox;
+                    for ky in 0..self.k {
+                        for kx in 0..self.k {
+                            let ii = (ch * h + oy * self.k + ky) * w + ox * self.k + kx;
+                            if x[ii] > y[oi] {
+                                y[oi] = x[ii];
+                                amax[oi] = ii;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.cached_argmax = amax;
+        self.cached_in_shape = shape.to_vec();
+        Tensor::from_vec(y, vec![c, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            !self.cached_in_shape.is_empty(),
+            "backward called before forward"
+        );
+        let mut gx = vec![0.0f32; self.cached_in_shape.iter().product()];
+        for (oi, g) in grad_out.data().iter().enumerate() {
+            gx[self.cached_argmax[oi]] += g;
+        }
+        Tensor::from_vec(gx, self.cached_in_shape.clone())
+    }
+
+    fn kind(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_maxima() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                0.0, 0.0, 1.0, 0.0, //
+                0.0, -1.0, 0.0, 0.5,
+            ],
+            vec![1, 4, 4],
+        );
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 8.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![1, 2, 2]);
+        let _ = p.forward(&x, false);
+        let gx = p.backward(&Tensor::from_vec(vec![10.0], vec![1, 1, 1]));
+        assert_eq!(gx.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn truncates_ragged_edges() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::zeros(vec![2, 5, 5]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 2, 2]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Loss functions with analytic gradients.
+
+use crate::tensor::Tensor;
+
+/// Mean-squared error: returns `(loss, ∂loss/∂pred)`.
+///
+/// `L = mean((pred − target)²)`, gradient `2(pred − target)/n`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+    let n = pred.len() as f32;
+    let mut loss = 0.0;
+    let grad: Vec<f32> = pred
+        .data()
+        .iter()
+        .zip(target.data())
+        .map(|(p, t)| {
+            let d = p - t;
+            loss += d * d;
+            2.0 * d / n
+        })
+        .collect();
+    (loss / n, Tensor::from_vec(grad, pred.shape().to_vec()))
+}
+
+/// Weighted mean-squared error: per-element weights emphasize some outputs
+/// (the imitation loss weighs steering above throttle/brake, following
+/// Codevilla et al.).
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn weighted_mse(pred: &Tensor, target: &Tensor, weights: &[f32]) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+    assert_eq!(pred.len(), weights.len(), "weights length mismatch");
+    let n = pred.len() as f32;
+    let mut loss = 0.0;
+    let grad: Vec<f32> = pred
+        .data()
+        .iter()
+        .zip(target.data())
+        .zip(weights)
+        .map(|((p, t), w)| {
+            let d = p - t;
+            loss += w * d * d;
+            2.0 * w * d / n
+        })
+        .collect();
+    (loss / n, Tensor::from_vec(grad, pred.shape().to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_at_target() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], vec![2]);
+        let (l, g) = mse(&p, &p);
+        assert_eq!(l, 0.0);
+        assert_eq!(g.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_direction() {
+        let p = Tensor::from_vec(vec![2.0], vec![1]);
+        let t = Tensor::from_vec(vec![1.0], vec![1]);
+        let (l, g) = mse(&p, &t);
+        assert_eq!(l, 1.0);
+        assert_eq!(g.data(), &[2.0]);
+    }
+
+    #[test]
+    fn weighted_emphasizes() {
+        let p = Tensor::from_vec(vec![1.0, 1.0], vec![2]);
+        let t = Tensor::from_vec(vec![0.0, 0.0], vec![2]);
+        let (_, g) = weighted_mse(&p, &t, &[4.0, 1.0]);
+        assert!(g.data()[0] > g.data()[1]);
+        assert_eq!(g.data()[0], 4.0 * g.data()[1]);
+    }
+
+    #[test]
+    fn finite_difference_agrees() {
+        let p = Tensor::from_vec(vec![0.3, -0.7, 1.1], vec![3]);
+        let t = Tensor::from_vec(vec![0.0, 0.5, 1.0], vec![3]);
+        let (l0, g) = mse(&p, &t);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut p2 = p.clone();
+            p2.data_mut()[i] += eps;
+            let (l1, _) = mse(&p2, &t);
+            let numeric = (l1 - l0) / eps;
+            assert!((numeric - g.data()[i]).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Network containers: [`Sequential`] stacks and the command-conditional
+//! [`Branched`] architecture of the imitation-learning agent.
+
+use crate::layers::{Layer, ParamSlice};
+use crate::tensor::Tensor;
+
+/// An activation override installed by the machine-learning fault injector:
+/// after layer `layer` runs, output unit `unit` is forced to `value`
+/// (a stuck-at neuron fault).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivationOverride {
+    /// Index of the layer whose output is patched.
+    pub layer: usize,
+    /// Flat index of the output unit.
+    pub unit: usize,
+    /// Forced value.
+    pub value: f32,
+}
+
+/// A stack of layers applied in order.
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    overrides: Vec<ActivationOverride>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Sequential {
+            layers: Vec::new(),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Appends a layer.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the stack has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer kind tags, in order (for fault localization UIs).
+    pub fn layer_kinds(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.kind()).collect()
+    }
+
+    /// Installs a stuck-at activation override (ML neuron fault).
+    pub fn add_override(&mut self, ov: ActivationOverride) {
+        self.overrides.push(ov);
+    }
+
+    /// Removes all activation overrides.
+    pub fn clear_overrides(&mut self) {
+        self.overrides.clear();
+    }
+
+    /// Currently installed overrides.
+    pub fn overrides(&self) -> &[ActivationOverride] {
+        &self.overrides
+    }
+
+    /// Runs the stack forward.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            x = layer.forward(&x, train);
+            for ov in &self.overrides {
+                if ov.layer == i && ov.unit < x.len() {
+                    x.data_mut()[ov.unit] = ov.value;
+                }
+            }
+        }
+        x
+    }
+
+    /// Backpropagates through the stack, returning ∂loss/∂input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// All parameters with qualified names (`"<idx><kind>.<param>"`).
+    pub fn params(&mut self) -> Vec<ParamSlice<'_>> {
+        let mut out = Vec::new();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let kind = layer.kind();
+            for mut p in layer.params() {
+                p.name = format!("{kind}{i}.{}", p.name);
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&mut self) -> usize {
+        self.params().iter().map(|p| p.values.len()).sum()
+    }
+}
+
+/// The command-conditional network of Codevilla et al.: a shared trunk
+/// (perception) feeding one head per high-level command; only the head
+/// selected by the current command drives the output.
+#[derive(Debug, Default)]
+pub struct Branched {
+    trunk: Sequential,
+    heads: Vec<Sequential>,
+    last_branch: Option<usize>,
+}
+
+impl Branched {
+    /// Creates a branched network from a trunk and heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` is empty.
+    pub fn new(trunk: Sequential, heads: Vec<Sequential>) -> Self {
+        assert!(!heads.is_empty(), "need at least one head");
+        Branched {
+            trunk,
+            heads,
+            last_branch: None,
+        }
+    }
+
+    /// Number of heads.
+    pub fn branch_count(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// The shared trunk.
+    pub fn trunk_mut(&mut self) -> &mut Sequential {
+        &mut self.trunk
+    }
+
+    /// A head by branch index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branch` is out of range.
+    pub fn head_mut(&mut self, branch: usize) -> &mut Sequential {
+        &mut self.heads[branch]
+    }
+
+    /// Runs the trunk and the selected head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branch` is out of range.
+    pub fn forward(&mut self, input: &Tensor, branch: usize, train: bool) -> Tensor {
+        assert!(branch < self.heads.len(), "branch {branch} out of range");
+        let feat = self.trunk.forward(input, train);
+        self.last_branch = Some(branch);
+        self.heads[branch].forward(&feat, train)
+    }
+
+    /// Backpropagates through the head used in the last `forward`, then the
+    /// trunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let b = self.last_branch.expect("backward before forward");
+        let g = self.heads[b].backward(grad_out);
+        self.trunk.backward(&g)
+    }
+
+    /// All parameters: trunk first, then each head, with qualified names.
+    pub fn params(&mut self) -> Vec<ParamSlice<'_>> {
+        let mut out = Vec::new();
+        for mut p in self.trunk.params() {
+            p.name = format!("trunk.{}", p.name);
+            out.push(p);
+        }
+        for (h, head) in self.heads.iter_mut().enumerate() {
+            for mut p in head.params() {
+                p.name = format!("head{h}.{}", p.name);
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&mut self) -> usize {
+        self.params().iter().map(|p| p.values.len()).sum()
+    }
+
+    /// Installs a stuck-at neuron fault in the trunk.
+    pub fn add_trunk_override(&mut self, ov: ActivationOverride) {
+        self.trunk.add_override(ov);
+    }
+
+    /// Clears all neuron faults (trunk and heads).
+    pub fn clear_overrides(&mut self) {
+        self.trunk.clear_overrides();
+        for h in &mut self.heads {
+            h.clear_overrides();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu, Tanh};
+    use crate::loss::mse;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 8, &mut rng));
+        net.push(Tanh::new());
+        net.push(Dense::new(8, 1, &mut rng));
+        net
+    }
+
+    #[test]
+    fn sequential_learns_xor() {
+        let mut net = xor_net(20);
+        let mut opt = Adam::new(0.02);
+        let data = [
+            ([0.0f32, 0.0], 0.0f32),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        for _ in 0..800 {
+            for (x, y) in data {
+                let out = net.forward(&Tensor::from_vec(x.to_vec(), vec![2]), true);
+                let (_, g) = mse(&out, &Tensor::from_vec(vec![y], vec![1]));
+                net.backward(&g);
+                opt.step(&mut net.params());
+            }
+        }
+        for (x, y) in data {
+            let out = net.forward(&Tensor::from_vec(x.to_vec(), vec![2]), false);
+            assert!(
+                (out.data()[0] - y).abs() < 0.25,
+                "xor({x:?}) = {} want {y}",
+                out.data()[0]
+            );
+        }
+    }
+
+    #[test]
+    fn params_are_named_and_counted() {
+        let mut net = xor_net(21);
+        let names: Vec<String> = net.params().iter().map(|p| p.name.clone()).collect();
+        assert_eq!(
+            names,
+            vec!["dense0.weight", "dense0.bias", "dense2.weight", "dense2.bias"]
+        );
+        assert_eq!(net.param_count(), 2 * 8 + 8 + 8 + 1);
+    }
+
+    #[test]
+    fn override_forces_neuron() {
+        let mut net = Sequential::new();
+        let mut rng = StdRng::seed_from_u64(22);
+        net.push(Dense::new(2, 4, &mut rng));
+        net.push(Relu::new());
+        net.add_override(ActivationOverride {
+            layer: 1,
+            unit: 2,
+            value: 42.0,
+        });
+        let out = net.forward(&Tensor::from_vec(vec![0.1, 0.2], vec![2]), false);
+        assert_eq!(out.data()[2], 42.0);
+        net.clear_overrides();
+        let out2 = net.forward(&Tensor::from_vec(vec![0.1, 0.2], vec![2]), false);
+        assert_ne!(out2.data()[2], 42.0);
+    }
+
+    #[test]
+    fn branched_heads_are_independent() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut trunk = Sequential::new();
+        trunk.push(Dense::new(2, 4, &mut rng));
+        trunk.push(Tanh::new());
+        let heads = (0..3)
+            .map(|_| {
+                let mut h = Sequential::new();
+                h.push(Dense::new(4, 1, &mut rng));
+                h
+            })
+            .collect();
+        let mut net = Branched::new(trunk, heads);
+        let x = Tensor::from_vec(vec![0.5, -0.5], vec![2]);
+        let y0 = net.forward(&x, 0, false);
+        let y1 = net.forward(&x, 1, false);
+        assert_ne!(y0.data(), y1.data(), "heads should differ at init");
+        assert_eq!(net.branch_count(), 3);
+    }
+
+    #[test]
+    fn branched_trains_one_head_at_a_time() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut trunk = Sequential::new();
+        trunk.push(Dense::new(1, 8, &mut rng));
+        trunk.push(Tanh::new());
+        let heads = (0..2)
+            .map(|_| {
+                let mut h = Sequential::new();
+                h.push(Dense::new(8, 1, &mut rng));
+                h
+            })
+            .collect();
+        let mut net = Branched::new(trunk, heads);
+        let mut opt = Adam::new(0.02);
+        // Head 0 learns y = x; head 1 learns y = -x.
+        for _ in 0..500 {
+            for x in [-1.0f32, -0.5, 0.0, 0.5, 1.0] {
+                for (b, sign) in [(0usize, 1.0f32), (1, -1.0)] {
+                    let out = net.forward(&Tensor::from_vec(vec![x], vec![1]), b, true);
+                    let (_, g) = mse(&out, &Tensor::from_vec(vec![sign * x], vec![1]));
+                    net.backward(&g);
+                    opt.step(&mut net.params());
+                }
+            }
+        }
+        let x = Tensor::from_vec(vec![0.7], vec![1]);
+        let y0 = net.forward(&x, 0, false).data()[0];
+        let y1 = net.forward(&x, 1, false).data()[0];
+        assert!((y0 - 0.7).abs() < 0.15, "head0={y0}");
+        assert!((y1 + 0.7).abs() < 0.15, "head1={y1}");
+    }
+
+    #[test]
+    fn branched_param_names_qualified() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut trunk = Sequential::new();
+        trunk.push(Dense::new(1, 2, &mut rng));
+        let mut h = Sequential::new();
+        h.push(Dense::new(2, 1, &mut rng));
+        let mut net = Branched::new(trunk, vec![h]);
+        let names: Vec<String> = net.params().iter().map(|p| p.name.clone()).collect();
+        assert!(names.iter().any(|n| n.starts_with("trunk.")));
+        assert!(names.iter().any(|n| n.starts_with("head0.")));
+    }
+}

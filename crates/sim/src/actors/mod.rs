@@ -1,0 +1,33 @@
+//! Traffic actors: NPC vehicles and pedestrians.
+
+mod pedestrian;
+mod spawner;
+mod vehicle;
+
+pub use pedestrian::{Pedestrian, PedestrianPhase};
+pub use spawner::{spawn_npc_vehicles, spawn_pedestrians};
+pub use vehicle::NpcVehicle;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies an actor in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActorId {
+    /// The ego (autonomous) vehicle under test.
+    Ego,
+    /// An NPC traffic vehicle, by index.
+    Npc(u32),
+    /// A pedestrian, by index.
+    Pedestrian(u32),
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActorId::Ego => write!(f, "ego"),
+            ActorId::Npc(i) => write!(f, "npc#{i}"),
+            ActorId::Pedestrian(i) => write!(f, "ped#{i}"),
+        }
+    }
+}

@@ -1,0 +1,592 @@
+//! Urban road-network map: lanes, intersections, buildings, and spatial
+//! queries (nearest lane, drivable-area tests, ground materials for the
+//! camera rasterizer).
+
+mod lane;
+mod intersection;
+pub mod presets;
+pub mod route;
+pub mod town;
+
+pub use intersection::{
+    Intersection, IntersectionId, LightState, SignalGroup, SignalTiming,
+};
+pub use lane::{Lane, LaneId, LaneKind, LaneProjection, TurnKind};
+
+use crate::math::{Aabb, Segment, Vec2};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Ground material at a world point, sampled by the camera rasterizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Material {
+    /// Off-road terrain.
+    Grass,
+    /// Pedestrian sidewalk bordering a road.
+    Sidewalk,
+    /// Asphalt driving surface.
+    Road,
+    /// Yellow center line separating opposing lanes.
+    MarkCenter,
+    /// White edge line at the road boundary.
+    MarkEdge,
+    /// Building footprint.
+    Building,
+}
+
+/// One road corridor: the straight axis between two intersections, carrying
+/// one lane in each direction plus sidewalks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoadAxis {
+    /// Axis segment from one intersection boundary to the other.
+    pub axis: Segment,
+    /// Half-width of the paved road (covers both lanes).
+    pub half_road: f64,
+    /// Additional sidewalk width beyond the pavement on each side.
+    pub sidewalk: f64,
+}
+
+impl RoadAxis {
+    /// Loose bounding box including the sidewalks.
+    pub fn bounds(&self) -> Aabb {
+        Aabb::new(self.axis.a, self.axis.b).inflated(self.half_road + self.sidewalk)
+    }
+}
+
+/// Raw components a map builder assembles; see [`Map::from_parts`].
+#[derive(Debug, Clone, Default)]
+pub struct MapParts {
+    /// All lanes, indexed by `LaneId`.
+    pub lanes: Vec<Lane>,
+    /// Successor adjacency (same indexing as `lanes`).
+    pub successors: Vec<Vec<LaneId>>,
+    /// All intersections, indexed by `IntersectionId`.
+    pub intersections: Vec<Intersection>,
+    /// Maps an incoming drive lane to the intersection it feeds.
+    pub lane_to_intersection: HashMap<LaneId, IntersectionId>,
+    /// Road corridors (for rendering and drivable-area tests).
+    pub road_axes: Vec<RoadAxis>,
+    /// Building footprints.
+    pub buildings: Vec<Aabb>,
+}
+
+/// An immutable road-network map with spatial indexes.
+#[derive(Debug, Clone)]
+pub struct Map {
+    lanes: Vec<Lane>,
+    successors: Vec<Vec<LaneId>>,
+    predecessors: Vec<Vec<LaneId>>,
+    intersections: Vec<Intersection>,
+    lane_to_intersection: HashMap<LaneId, IntersectionId>,
+    connector_to_intersection: HashMap<LaneId, IntersectionId>,
+    road_axes: Vec<RoadAxis>,
+    buildings: Vec<Aabb>,
+    bounds: Aabb,
+    grid: SpatialGrid,
+}
+
+impl Map {
+    /// Assembles a map from builder output, computing predecessor links,
+    /// bounds and spatial indexes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `successors` length differs from `lanes` or references an
+    /// unknown lane.
+    pub fn from_parts(parts: MapParts) -> Self {
+        let MapParts {
+            lanes,
+            successors,
+            intersections,
+            lane_to_intersection,
+            road_axes,
+            buildings,
+        } = parts;
+        assert_eq!(
+            lanes.len(),
+            successors.len(),
+            "successor table must match lane count"
+        );
+        let mut predecessors = vec![Vec::new(); lanes.len()];
+        for (i, succs) in successors.iter().enumerate() {
+            for s in succs {
+                assert!(
+                    (s.0 as usize) < lanes.len(),
+                    "successor {s} out of range"
+                );
+                predecessors[s.0 as usize].push(LaneId(i as u32));
+            }
+        }
+        let mut connector_to_intersection = HashMap::new();
+        for isect in &intersections {
+            for c in isect.connectors() {
+                connector_to_intersection.insert(*c, isect.id());
+            }
+        }
+        let mut bounds: Option<Aabb> = None;
+        for axis in &road_axes {
+            let b = axis.bounds();
+            bounds = Some(match bounds {
+                Some(acc) => acc.union(&b),
+                None => b,
+            });
+        }
+        for b in &buildings {
+            bounds = Some(match bounds {
+                Some(acc) => acc.union(b),
+                None => *b,
+            });
+        }
+        for l in &lanes {
+            for p in l.points() {
+                let b = Aabb::new(*p, *p);
+                bounds = Some(match bounds {
+                    Some(acc) => acc.union(&b),
+                    None => b,
+                });
+            }
+        }
+        let bounds = bounds
+            .unwrap_or(Aabb::new(Vec2::ZERO, Vec2::new(1.0, 1.0)))
+            .inflated(20.0);
+        let grid = SpatialGrid::build(&bounds, &lanes, &road_axes, &buildings, &intersections);
+        Map {
+            lanes,
+            successors,
+            predecessors,
+            intersections,
+            lane_to_intersection,
+            connector_to_intersection,
+            road_axes,
+            buildings,
+            bounds,
+            grid,
+        }
+    }
+
+    /// All lanes.
+    #[inline]
+    pub fn lanes(&self) -> &[Lane] {
+        &self.lanes
+    }
+
+    /// Looks up a lane by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this map.
+    #[inline]
+    pub fn lane(&self, id: LaneId) -> &Lane {
+        &self.lanes[id.0 as usize]
+    }
+
+    /// Successor lanes of `id`.
+    #[inline]
+    pub fn successors(&self, id: LaneId) -> &[LaneId] {
+        &self.successors[id.0 as usize]
+    }
+
+    /// Predecessor lanes of `id`.
+    #[inline]
+    pub fn predecessors(&self, id: LaneId) -> &[LaneId] {
+        &self.predecessors[id.0 as usize]
+    }
+
+    /// All intersections.
+    #[inline]
+    pub fn intersections(&self) -> &[Intersection] {
+        &self.intersections
+    }
+
+    /// Looks up an intersection by id.
+    #[inline]
+    pub fn intersection(&self, id: IntersectionId) -> &Intersection {
+        &self.intersections[id.0 as usize]
+    }
+
+    /// The intersection an incoming drive lane feeds, if any.
+    #[inline]
+    pub fn intersection_after(&self, lane: LaneId) -> Option<IntersectionId> {
+        self.lane_to_intersection.get(&lane).copied()
+    }
+
+    /// The intersection a connector lane crosses, if it is a connector.
+    #[inline]
+    pub fn intersection_of_connector(&self, lane: LaneId) -> Option<IntersectionId> {
+        self.connector_to_intersection.get(&lane).copied()
+    }
+
+    /// Road corridors.
+    #[inline]
+    pub fn road_axes(&self) -> &[RoadAxis] {
+        &self.road_axes
+    }
+
+    /// Building footprints.
+    #[inline]
+    pub fn buildings(&self) -> &[Aabb] {
+        &self.buildings
+    }
+
+    /// World bounds (all content plus margin).
+    #[inline]
+    pub fn bounds(&self) -> &Aabb {
+        &self.bounds
+    }
+
+    /// Nearest drive or connector lane to a point, within `max_dist` of its
+    /// centerline. Returns the lane and projection.
+    pub fn nearest_lane(&self, p: Vec2, max_dist: f64) -> Option<(LaneId, LaneProjection)> {
+        let mut best: Option<(LaneId, LaneProjection)> = None;
+        for id in self.grid.lanes_near(p, max_dist) {
+            let proj = self.lanes[id.0 as usize].project(p);
+            if proj.distance <= max_dist {
+                match &best {
+                    Some((_, b)) if b.distance <= proj.distance => {}
+                    _ => best = Some((id, proj)),
+                }
+            }
+        }
+        best
+    }
+
+    /// Nearest lane whose travel direction agrees with `heading` (within
+    /// 90°). This is the lane a vehicle is legally *in*: a car that crossed
+    /// the center line is still matched against its own-direction lane, so
+    /// the violation monitor sees the departure instead of silently
+    /// re-associating with the opposing lane.
+    pub fn nearest_lane_directional(
+        &self,
+        p: Vec2,
+        heading: f64,
+        max_dist: f64,
+    ) -> Option<(LaneId, LaneProjection)> {
+        let fwd = Vec2::from_angle(heading);
+        let mut best: Option<(LaneId, LaneProjection)> = None;
+        for id in self.grid.lanes_near(p, max_dist) {
+            let lane = &self.lanes[id.0 as usize];
+            let proj = lane.project(p);
+            if proj.distance > max_dist {
+                continue;
+            }
+            let lane_dir = Vec2::from_angle(lane.heading_at(proj.s));
+            if fwd.dot(lane_dir) <= 0.0 {
+                continue;
+            }
+            match &best {
+                Some((_, b)) if b.distance <= proj.distance => {}
+                _ => best = Some((id, proj)),
+            }
+        }
+        best
+    }
+
+    /// Nearest *drive* lane (ignoring connectors); used for spawning.
+    pub fn nearest_drive_lane(&self, p: Vec2, max_dist: f64) -> Option<(LaneId, LaneProjection)> {
+        let mut best: Option<(LaneId, LaneProjection)> = None;
+        for id in self.grid.lanes_near(p, max_dist) {
+            let lane = &self.lanes[id.0 as usize];
+            if lane.kind() != LaneKind::Drive {
+                continue;
+            }
+            let proj = lane.project(p);
+            if proj.distance <= max_dist {
+                match &best {
+                    Some((_, b)) if b.distance <= proj.distance => {}
+                    _ => best = Some((id, proj)),
+                }
+            }
+        }
+        best
+    }
+
+    /// `true` when the point is on pavement (road corridor or intersection).
+    pub fn on_drivable(&self, p: Vec2) -> bool {
+        if self
+            .grid
+            .intersections_near(p)
+            .any(|i| self.intersections[i.0 as usize].area().contains(p))
+        {
+            return true;
+        }
+        self.grid.axes_near(p).any(|i| {
+            let axis = &self.road_axes[i];
+            axis.axis.distance_to(p) <= axis.half_road
+        })
+    }
+
+    /// `true` when the point is on a sidewalk (bordering pavement but not on
+    /// it).
+    pub fn on_sidewalk(&self, p: Vec2) -> bool {
+        if self.on_drivable(p) {
+            return false;
+        }
+        self.grid.axes_near(p).any(|i| {
+            let axis = &self.road_axes[i];
+            axis.axis.distance_to(p) <= axis.half_road + axis.sidewalk
+        })
+    }
+
+    /// `true` when the point is inside a building footprint.
+    pub fn in_building(&self, p: Vec2) -> bool {
+        self.grid
+            .buildings_near(p)
+            .any(|i| self.buildings[i].contains(p))
+    }
+
+    /// Ground material at a world point (used by the camera).
+    pub fn material_at(&self, p: Vec2) -> Material {
+        if self.in_building(p) {
+            return Material::Building;
+        }
+        if self
+            .grid
+            .intersections_near(p)
+            .any(|i| self.intersections[i.0 as usize].area().contains(p))
+        {
+            return Material::Road;
+        }
+        // Nearest road axis decides lane markings.
+        let mut nearest: Option<(f64, &RoadAxis)> = None;
+        for i in self.grid.axes_near(p) {
+            let axis = &self.road_axes[i];
+            let d = axis.axis.distance_to(p);
+            match nearest {
+                Some((bd, _)) if bd <= d => {}
+                _ => nearest = Some((d, axis)),
+            }
+        }
+        if let Some((d, axis)) = nearest {
+            const MARK_HALF: f64 = 0.15;
+            if d <= axis.half_road {
+                if d <= MARK_HALF {
+                    return Material::MarkCenter;
+                }
+                if axis.half_road - d <= 2.0 * MARK_HALF {
+                    return Material::MarkEdge;
+                }
+                return Material::Road;
+            }
+            if d <= axis.half_road + axis.sidewalk {
+                return Material::Sidewalk;
+            }
+        }
+        Material::Grass
+    }
+}
+
+/// Uniform spatial hash over the map bounds.
+#[derive(Debug, Clone)]
+struct SpatialGrid {
+    origin: Vec2,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    lanes: Vec<Vec<LaneId>>,
+    axes: Vec<Vec<usize>>,
+    buildings: Vec<Vec<usize>>,
+    intersections: Vec<Vec<IntersectionId>>,
+}
+
+impl SpatialGrid {
+    const CELL: f64 = 16.0;
+
+    fn build(
+        bounds: &Aabb,
+        lanes: &[Lane],
+        axes: &[RoadAxis],
+        buildings: &[Aabb],
+        intersections: &[Intersection],
+    ) -> Self {
+        let cell = Self::CELL;
+        let nx = ((bounds.width() / cell).ceil() as usize).max(1);
+        let ny = ((bounds.height() / cell).ceil() as usize).max(1);
+        let n = nx * ny;
+        let mut grid = SpatialGrid {
+            origin: bounds.min,
+            cell,
+            nx,
+            ny,
+            lanes: vec![Vec::new(); n],
+            axes: vec![Vec::new(); n],
+            buildings: vec![Vec::new(); n],
+            intersections: vec![Vec::new(); n],
+        };
+        for lane in lanes {
+            let mut b: Option<Aabb> = None;
+            for p in lane.points() {
+                let pb = Aabb::new(*p, *p);
+                b = Some(match b {
+                    Some(acc) => acc.union(&pb),
+                    None => pb,
+                });
+            }
+            // Inflate by lane width plus a search margin so `lanes_near`
+            // with a modest max_dist finds it.
+            let b = b.expect("lane has points").inflated(lane.width() + 8.0);
+            grid.insert_box(&b, |g, c| g.lanes[c].push(lane.id()));
+        }
+        for (i, axis) in axes.iter().enumerate() {
+            let b = axis.bounds().inflated(2.0);
+            grid.insert_box(&b, |g, c| g.axes[c].push(i));
+        }
+        for (i, bld) in buildings.iter().enumerate() {
+            grid.insert_box(bld, |g, c| g.buildings[c].push(i));
+        }
+        for isect in intersections {
+            let b = isect.area().inflated(2.0);
+            let id = isect.id();
+            grid.insert_box(&b, |g, c| g.intersections[c].push(id));
+        }
+        grid
+    }
+
+    fn cell_of(&self, p: Vec2) -> Option<usize> {
+        let ix = ((p.x - self.origin.x) / self.cell).floor();
+        let iy = ((p.y - self.origin.y) / self.cell).floor();
+        if ix < 0.0 || iy < 0.0 {
+            return None;
+        }
+        let (ix, iy) = (ix as usize, iy as usize);
+        if ix >= self.nx || iy >= self.ny {
+            return None;
+        }
+        Some(iy * self.nx + ix)
+    }
+
+    fn insert_box(&mut self, b: &Aabb, mut push: impl FnMut(&mut Self, usize)) {
+        let x0 = (((b.min.x - self.origin.x) / self.cell).floor().max(0.0)) as usize;
+        let y0 = (((b.min.y - self.origin.y) / self.cell).floor().max(0.0)) as usize;
+        let x1 = (((b.max.x - self.origin.x) / self.cell).floor().max(0.0)) as usize;
+        let y1 = (((b.max.y - self.origin.y) / self.cell).floor().max(0.0)) as usize;
+        for y in y0..=y1.min(self.ny - 1) {
+            for x in x0..=x1.min(self.nx - 1) {
+                push(self, y * self.nx + x);
+            }
+        }
+    }
+
+    fn lanes_near(&self, p: Vec2, _max_dist: f64) -> impl Iterator<Item = LaneId> + '_ {
+        self.cell_of(p)
+            .into_iter()
+            .flat_map(move |c| self.lanes[c].iter().copied())
+    }
+
+    fn axes_near(&self, p: Vec2) -> impl Iterator<Item = usize> + '_ {
+        self.cell_of(p)
+            .into_iter()
+            .flat_map(move |c| self.axes[c].iter().copied())
+    }
+
+    fn buildings_near(&self, p: Vec2) -> impl Iterator<Item = usize> + '_ {
+        self.cell_of(p)
+            .into_iter()
+            .flat_map(move |c| self.buildings[c].iter().copied())
+    }
+
+    fn intersections_near(&self, p: Vec2) -> impl Iterator<Item = IntersectionId> + '_ {
+        self.cell_of(p)
+            .into_iter()
+            .flat_map(move |c| self.intersections[c].iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::town::{TownConfig, TownGenerator};
+    use super::*;
+
+    fn town() -> Map {
+        TownGenerator::new(TownConfig::grid(3, 3)).generate()
+    }
+
+    #[test]
+    fn grid_town_has_content() {
+        let m = town();
+        assert!(!m.lanes().is_empty());
+        assert!(!m.intersections().is_empty());
+        assert!(!m.road_axes().is_empty());
+        assert!(!m.buildings().is_empty());
+    }
+
+    #[test]
+    fn successors_and_predecessors_agree() {
+        let m = town();
+        for lane in m.lanes() {
+            for s in m.successors(lane.id()) {
+                assert!(
+                    m.predecessors(*s).contains(&lane.id()),
+                    "{} -> {s} missing back-link",
+                    lane.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_endpoints_connect_to_successors() {
+        let m = town();
+        for lane in m.lanes() {
+            for s in m.successors(lane.id()) {
+                let gap = lane.end().distance(m.lane(*s).start());
+                assert!(gap < 1.0, "{} -> {s} gap {gap}", lane.id());
+            }
+        }
+    }
+
+    #[test]
+    fn material_on_lane_center_is_road_like(){
+        let m = town();
+        let mut road_like = 0;
+        let mut total = 0;
+        for lane in m.lanes().iter().filter(|l| l.kind() == LaneKind::Drive) {
+            let p = lane.point_at(lane.length() / 2.0);
+            total += 1;
+            if matches!(
+                m.material_at(p),
+                Material::Road | Material::MarkCenter | Material::MarkEdge
+            ) {
+                road_like += 1;
+            }
+        }
+        assert_eq!(road_like, total, "every drive-lane midpoint is paved");
+    }
+
+    #[test]
+    fn drivable_and_sidewalk_are_disjoint() {
+        let m = town();
+        let b = *m.bounds();
+        let mut n_both = 0;
+        let steps = 40;
+        for i in 0..steps {
+            for j in 0..steps {
+                let p = Vec2::new(
+                    b.min.x + b.width() * (i as f64 + 0.5) / steps as f64,
+                    b.min.y + b.height() * (j as f64 + 0.5) / steps as f64,
+                );
+                if m.on_drivable(p) && m.on_sidewalk(p) {
+                    n_both += 1;
+                }
+            }
+        }
+        assert_eq!(n_both, 0);
+    }
+
+    #[test]
+    fn nearest_lane_finds_lane_under_vehicle() {
+        let m = town();
+        let lane = &m.lanes()[0];
+        let p = lane.point_at(lane.length() * 0.3);
+        let (_, proj) = m.nearest_lane(p, 5.0).expect("lane under point");
+        assert!(proj.distance < 0.5);
+    }
+
+    #[test]
+    fn buildings_do_not_overlap_roads() {
+        let m = town();
+        for b in m.buildings() {
+            let c = b.center();
+            assert!(!m.on_drivable(c), "building center {c} on road");
+        }
+    }
+}

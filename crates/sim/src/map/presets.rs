@@ -1,0 +1,116 @@
+//! Named town presets, mirroring CARLA's "inbuilt library of urban
+//! layouts".
+
+use crate::map::town::TownConfig;
+use crate::map::SignalTiming;
+
+/// The standard evaluation town: a 4×4 signalized grid with 80 m blocks
+/// (roughly CARLA Town01 scale).
+pub fn town01() -> TownConfig {
+    TownConfig::grid(4, 4)
+}
+
+/// A compact 3×3 town with shorter blocks (roughly CARLA Town02 scale:
+/// "a smaller town often used for quicker evaluation").
+pub fn town02() -> TownConfig {
+    TownConfig {
+        block: 60.0,
+        ..TownConfig::grid(3, 3)
+    }
+}
+
+/// Town01 without traffic lights — the configuration used by the
+/// imitation-learning experiments (the IL agent does not obey signals; see
+/// DESIGN.md).
+pub fn town01_unsignalized() -> TownConfig {
+    TownConfig {
+        signalized: false,
+        ..town01()
+    }
+}
+
+/// A long, straight two-intersection strip: the minimal test track for
+/// longitudinal-control and sensor experiments.
+pub fn straight_track() -> TownConfig {
+    TownConfig {
+        block: 220.0,
+        signalized: false,
+        ..TownConfig::grid(2, 1)
+    }
+}
+
+/// A dense downtown: small blocks, slow traffic, aggressive signal
+/// timing — the stress-test layout.
+pub fn downtown() -> TownConfig {
+    TownConfig {
+        block: 55.0,
+        speed_limit: 6.5,
+        turn_speed_limit: 3.5,
+        timing: SignalTiming {
+            green: 6.0,
+            yellow: 1.5,
+            all_red: 1.0,
+        },
+        ..TownConfig::grid(5, 5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::town::TownGenerator;
+    use crate::map::LaneKind;
+
+    #[test]
+    fn all_presets_generate_drivable_maps() {
+        for (name, cfg) in [
+            ("town01", town01()),
+            ("town02", town02()),
+            ("town01_unsignalized", town01_unsignalized()),
+            ("straight_track", straight_track()),
+            ("downtown", downtown()),
+        ] {
+            let map = TownGenerator::new(cfg).generate();
+            let drive = map
+                .lanes()
+                .iter()
+                .filter(|l| l.kind() == LaneKind::Drive)
+                .count();
+            assert!(drive >= 2, "{name}: only {drive} drive lanes");
+            // Every drive lane can go somewhere.
+            for lane in map.lanes() {
+                if lane.kind() == LaneKind::Drive {
+                    assert!(
+                        !map.successors(lane.id()).is_empty(),
+                        "{name}: dead-end drive lane"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsignalized_preset_has_no_lights() {
+        let map = TownGenerator::new(town01_unsignalized()).generate();
+        assert!(map.intersections().iter().all(|i| !i.is_signalized()));
+    }
+
+    #[test]
+    fn downtown_is_denser_than_town01() {
+        let a = TownGenerator::new(downtown()).generate();
+        let b = TownGenerator::new(town01()).generate();
+        assert!(a.intersections().len() > b.intersections().len());
+        assert!(a.lanes()[0].speed_limit() < b.lanes()[0].speed_limit());
+    }
+
+    #[test]
+    fn straight_track_is_long() {
+        let map = TownGenerator::new(straight_track()).generate();
+        let longest = map
+            .lanes()
+            .iter()
+            .map(|l| l.length())
+            .fold(0.0f64, f64::max);
+        assert!(longest > 180.0, "longest lane {longest}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Rigid 2-D pose (position + heading).
+
+use super::{normalize_angle, Vec2};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 2-D rigid pose: position in world frame plus heading.
+///
+/// Headings are radians, CCW from +X, normalized to `(-π, π]`.
+///
+/// ```
+/// use avfi_sim::math::{Pose, Vec2};
+/// let p = Pose::new(Vec2::new(1.0, 0.0), std::f64::consts::FRAC_PI_2);
+/// // A point 2 m ahead of the pose is 2 m "up" in world frame:
+/// let w = p.to_world(Vec2::new(2.0, 0.0));
+/// assert!((w.x - 1.0).abs() < 1e-12 && (w.y - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Pose {
+    /// Position of the body origin in the world frame.
+    pub position: Vec2,
+    /// Heading in radians, CCW from +X, in `(-π, π]`.
+    pub heading: f64,
+}
+
+impl Pose {
+    /// Creates a pose, normalizing the heading.
+    #[inline]
+    pub fn new(position: Vec2, heading: f64) -> Self {
+        Pose {
+            position,
+            heading: normalize_angle(heading),
+        }
+    }
+
+    /// Pose at the world origin facing +X.
+    #[inline]
+    pub fn origin() -> Self {
+        Pose::default()
+    }
+
+    /// Unit vector pointing along the heading.
+    #[inline]
+    pub fn forward(&self) -> Vec2 {
+        Vec2::from_angle(self.heading)
+    }
+
+    /// Unit vector pointing 90° left of the heading.
+    #[inline]
+    pub fn left(&self) -> Vec2 {
+        self.forward().perp()
+    }
+
+    /// Transforms a point from the body frame (x forward, y left) to the
+    /// world frame.
+    #[inline]
+    pub fn to_world(&self, local: Vec2) -> Vec2 {
+        self.position + local.rotated(self.heading)
+    }
+
+    /// Transforms a world-frame point into the body frame.
+    #[inline]
+    pub fn to_local(&self, world: Vec2) -> Vec2 {
+        (world - self.position).rotated(-self.heading)
+    }
+
+    /// Signed heading error toward a target point: the angle from this
+    /// pose's forward direction to the direction of `target`, in `(-π, π]`.
+    /// Positive means the target is to the left.
+    #[inline]
+    pub fn bearing_to(&self, target: Vec2) -> f64 {
+        let local = self.to_local(target);
+        local.y.atan2(local.x)
+    }
+}
+
+impl fmt::Display for Pose {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {:.1}°",
+            self.position,
+            self.heading.to_degrees()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn world_local_roundtrip() {
+        let p = Pose::new(Vec2::new(3.0, -2.0), 0.7);
+        let pt = Vec2::new(1.5, -0.5);
+        let back = p.to_local(p.to_world(pt));
+        assert!((back - pt).norm() < 1e-12);
+    }
+
+    #[test]
+    fn bearing_sign() {
+        let p = Pose::new(Vec2::ZERO, 0.0);
+        assert!(p.bearing_to(Vec2::new(1.0, 1.0)) > 0.0); // left
+        assert!(p.bearing_to(Vec2::new(1.0, -1.0)) < 0.0); // right
+        assert!((p.bearing_to(Vec2::new(5.0, 0.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn left_is_perpendicular() {
+        let p = Pose::new(Vec2::ZERO, FRAC_PI_2);
+        assert!((p.forward() - Vec2::new(0.0, 1.0)).norm() < 1e-12);
+        assert!((p.left() - Vec2::new(-1.0, 0.0)).norm() < 1e-12);
+    }
+}

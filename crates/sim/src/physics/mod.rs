@@ -1,0 +1,107 @@
+//! Vehicle dynamics and collision detection.
+
+mod bicycle;
+mod collision;
+
+pub use bicycle::{BicycleModel, VehicleParams, VehicleState};
+pub use collision::{CollisionShape, Contact};
+
+use crate::math::clamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Normalized actuator command applied to a vehicle — the message the ADA
+/// sends back to the simulator server each frame.
+///
+/// All fields are dimensionless: `steer ∈ [-1, 1]` (negative = right),
+/// `throttle ∈ [0, 1]`, `brake ∈ [0, 1]`. [`VehicleControl::clamped`]
+/// sanitizes out-of-range or non-finite values (which fault injection can
+/// produce deliberately).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct VehicleControl {
+    /// Steering command in `[-1, 1]`; positive steers left.
+    pub steer: f64,
+    /// Throttle command in `[0, 1]`.
+    pub throttle: f64,
+    /// Brake command in `[0, 1]`.
+    pub brake: f64,
+}
+
+impl VehicleControl {
+    /// A control with everything released (coasting).
+    pub const fn coast() -> Self {
+        VehicleControl {
+            steer: 0.0,
+            throttle: 0.0,
+            brake: 0.0,
+        }
+    }
+
+    /// Creates a control command (values are clamped into range).
+    pub fn new(steer: f64, throttle: f64, brake: f64) -> Self {
+        VehicleControl {
+            steer,
+            throttle,
+            brake,
+        }
+        .clamped()
+    }
+
+    /// Full brake.
+    pub const fn full_brake() -> Self {
+        VehicleControl {
+            steer: 0.0,
+            throttle: 0.0,
+            brake: 1.0,
+        }
+    }
+
+    /// Returns the command with every field clamped to its legal range;
+    /// non-finite values become zero. The physics engine applies this to
+    /// every incoming command, so corrupted (fault-injected) controls are
+    /// interpreted the way real drive-by-wire firmware would.
+    pub fn clamped(self) -> Self {
+        let fix = |v: f64, lo: f64, hi: f64| if v.is_finite() { clamp(v, lo, hi) } else { 0.0 };
+        VehicleControl {
+            steer: fix(self.steer, -1.0, 1.0),
+            throttle: fix(self.throttle, 0.0, 1.0),
+            brake: fix(self.brake, 0.0, 1.0),
+        }
+    }
+}
+
+impl fmt::Display for VehicleControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "steer={:+.2} thr={:.2} brk={:.2}",
+            self.steer, self.throttle, self.brake
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamped_sanitizes() {
+        let c = VehicleControl {
+            steer: 3.0,
+            throttle: -1.0,
+            brake: f64::NAN,
+        }
+        .clamped();
+        assert_eq!(c.steer, 1.0);
+        assert_eq!(c.throttle, 0.0);
+        assert_eq!(c.brake, 0.0);
+    }
+
+    #[test]
+    fn new_clamps() {
+        let c = VehicleControl::new(-2.0, 0.5, 2.0);
+        assert_eq!(c.steer, -1.0);
+        assert_eq!(c.throttle, 0.5);
+        assert_eq!(c.brake, 1.0);
+    }
+}

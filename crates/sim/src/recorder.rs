@@ -1,0 +1,114 @@
+//! Trajectory recorder: per-frame samples of the ego state for post-hoc
+//! analysis (TTV computation, debugging, plotting).
+
+use crate::math::Vec2;
+use crate::physics::VehicleControl;
+use serde::{Deserialize, Serialize};
+
+/// One recorded frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectorySample {
+    /// Simulation time, seconds.
+    pub time: f64,
+    /// Frame number.
+    pub frame: u64,
+    /// Ego position.
+    pub position: Vec2,
+    /// Ego heading, radians.
+    pub heading: f64,
+    /// Ego speed, m/s.
+    pub speed: f64,
+    /// Control applied this frame.
+    pub control: VehicleControl,
+}
+
+/// Records ego trajectory samples.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    enabled: bool,
+    samples: Vec<TrajectorySample>,
+}
+
+impl Recorder {
+    /// Creates a recorder; disabled recorders drop samples (zero cost for
+    /// large campaigns).
+    pub fn new(enabled: bool) -> Self {
+        Recorder {
+            enabled,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one sample (no-op when disabled).
+    pub fn push(&mut self, sample: TrajectorySample) {
+        if self.enabled {
+            self.samples.push(sample);
+        }
+    }
+
+    /// Recorded samples.
+    pub fn samples(&self) -> &[TrajectorySample] {
+        &self.samples
+    }
+
+    /// Total path length of the recorded trajectory, meters.
+    pub fn path_length(&self) -> f64 {
+        self.samples
+            .windows(2)
+            .map(|w| w[0].position.distance(w[1].position))
+            .sum()
+    }
+
+    /// Mean speed over the recording, m/s.
+    pub fn mean_speed(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.speed).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, x: f64, v: f64) -> TrajectorySample {
+        TrajectorySample {
+            time: t,
+            frame: (t * 15.0) as u64,
+            position: Vec2::new(x, 0.0),
+            heading: 0.0,
+            speed: v,
+            control: VehicleControl::coast(),
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_drops() {
+        let mut r = Recorder::new(false);
+        r.push(sample(0.0, 0.0, 1.0));
+        assert!(r.samples().is_empty());
+    }
+
+    #[test]
+    fn path_length_sums_steps() {
+        let mut r = Recorder::new(true);
+        r.push(sample(0.0, 0.0, 1.0));
+        r.push(sample(1.0, 3.0, 1.0));
+        r.push(sample(2.0, 7.0, 2.0));
+        assert_eq!(r.path_length(), 7.0);
+        assert!((r.mean_speed() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_recorder_stats() {
+        let r = Recorder::new(true);
+        assert_eq!(r.path_length(), 0.0);
+        assert_eq!(r.mean_speed(), 0.0);
+    }
+}

@@ -1,0 +1,397 @@
+//! Software-rasterized forward RGB camera.
+//!
+//! The camera renders the driver's view by inverse-perspective mapping of
+//! the ground plane (sampling [`Map::material_at`] per pixel) plus billboard
+//! sprites for vehicles, pedestrians and traffic lights. The result is a
+//! small image with exactly the visual structure an imitation-learning
+//! lane-keeping network needs: lane markings, road edges, obstacles, and
+//! weather-dependent lighting and fog.
+
+use crate::map::{Map, Material};
+use crate::math::{Pose, Vec2};
+use crate::sensors::{Image, Rgb};
+use crate::weather::Weather;
+use serde::{Deserialize, Serialize};
+
+/// A vertical sprite rendered by the camera (vehicle, pedestrian, traffic
+/// light head).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Billboard {
+    /// Ground position of the sprite base.
+    pub position: Vec2,
+    /// Half-width of the sprite, meters.
+    pub radius: f64,
+    /// Sprite base height above ground, meters (0 for actors; >0 for
+    /// traffic-light heads).
+    pub base: f64,
+    /// Sprite top height above ground, meters.
+    pub top: f64,
+    /// Sprite color.
+    pub color: Rgb,
+}
+
+/// Everything the camera needs to draw one frame.
+#[derive(Debug)]
+pub struct RenderScene<'a> {
+    /// The road map (ground materials).
+    pub map: &'a Map,
+    /// Current weather (ambient light, fog).
+    pub weather: Weather,
+    /// Sprites to draw, any order (painter-sorted internally).
+    pub billboards: Vec<Billboard>,
+}
+
+/// Camera intrinsics and mounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CameraConfig {
+    /// Image width, pixels.
+    pub width: usize,
+    /// Image height, pixels.
+    pub height: usize,
+    /// Horizontal field of view, degrees.
+    pub fov_deg: f64,
+    /// Mount height above ground, meters.
+    pub mount_height: f64,
+    /// Forward offset from the vehicle center (hood mount), meters.
+    pub hood_offset: f64,
+    /// Downward pitch, degrees.
+    pub pitch_deg: f64,
+    /// Far clip for ground sampling, meters.
+    pub max_range: f64,
+}
+
+impl Default for CameraConfig {
+    fn default() -> Self {
+        CameraConfig {
+            width: 64,
+            height: 48,
+            fov_deg: 100.0,
+            mount_height: 1.4,
+            hood_offset: 1.0,
+            pitch_deg: 10.0,
+            max_range: 80.0,
+        }
+    }
+}
+
+/// The forward RGB camera sensor.
+#[derive(Debug, Clone, Copy)]
+pub struct Camera {
+    config: CameraConfig,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Vec3 {
+    x: f64,
+    y: f64,
+    z: f64,
+}
+
+impl Vec3 {
+    fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+}
+
+impl Camera {
+    /// Creates a camera.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolution is zero or the FOV is not in `(0°, 180°)`.
+    pub fn new(config: CameraConfig) -> Self {
+        assert!(config.width > 0 && config.height > 0, "resolution must be non-zero");
+        assert!(
+            config.fov_deg > 0.0 && config.fov_deg < 180.0,
+            "fov must be in (0, 180)"
+        );
+        Camera { config }
+    }
+
+    /// Camera configuration.
+    pub fn config(&self) -> &CameraConfig {
+        &self.config
+    }
+
+    /// Renders the scene from the ego pose.
+    pub fn render(&self, scene: &RenderScene<'_>, ego: Pose) -> Image {
+        let cfg = &self.config;
+        let w = cfg.width;
+        let h = cfg.height;
+        let mut img = Image::new(w, h);
+
+        let ambient = scene.weather.ambient_light() as f32;
+        let fog = scene.weather.fog_density();
+        let sky: Rgb = scale([0.55, 0.70, 0.95], ambient);
+        let haze: Rgb = scale([0.72, 0.74, 0.78], ambient);
+
+        // Camera basis.
+        let pitch = cfg.pitch_deg.to_radians();
+        let f2 = ego.forward();
+        let cam_xy = ego.position + f2 * cfg.hood_offset;
+        let (sp, cp) = pitch.sin_cos();
+        let fwd = Vec3 {
+            x: f2.x * cp,
+            y: f2.y * cp,
+            z: -sp,
+        };
+        let right = Vec3 {
+            x: f2.y,
+            y: -f2.x,
+            z: 0.0,
+        };
+        let up = Vec3 {
+            x: f2.x * sp,
+            y: f2.y * sp,
+            z: cp,
+        };
+        let tan_h = (cfg.fov_deg.to_radians() * 0.5).tan();
+        let tan_v = tan_h * h as f64 / w as f64;
+
+        // Ground / sky pass.
+        for y in 0..h {
+            let v_n = 1.0 - 2.0 * (y as f64 + 0.5) / h as f64;
+            for x in 0..w {
+                let u_n = 2.0 * (x as f64 + 0.5) / w as f64 - 1.0;
+                let d = Vec3 {
+                    x: fwd.x + right.x * u_n * tan_h + up.x * v_n * tan_v,
+                    y: fwd.y + right.y * u_n * tan_h + up.y * v_n * tan_v,
+                    z: fwd.z + right.z * u_n * tan_h + up.z * v_n * tan_v,
+                };
+                let color = if d.z >= -1e-6 {
+                    sky
+                } else {
+                    let t = cfg.mount_height / -d.z;
+                    let gx = cam_xy.x + d.x * t;
+                    let gy = cam_xy.y + d.y * t;
+                    let dist = (d.x * t).hypot(d.y * t);
+                    if dist > cfg.max_range {
+                        haze
+                    } else {
+                        let mat = scene.map.material_at(Vec2::new(gx, gy));
+                        let base = scale(material_color(mat), ambient);
+                        let fb = 1.0 - (-fog * dist).exp();
+                        mix(base, haze, fb as f32)
+                    }
+                };
+                img.set_pixel(x, y, color);
+            }
+        }
+
+        // Billboard pass, far to near.
+        let mut boards: Vec<(f64, &Billboard)> = scene
+            .billboards
+            .iter()
+            .filter_map(|b| {
+                let rel = Vec3 {
+                    x: b.position.x - cam_xy.x,
+                    y: b.position.y - cam_xy.y,
+                    z: -cfg.mount_height,
+                };
+                let depth = rel.dot(fwd);
+                if depth > 0.5 && depth < cfg.max_range {
+                    Some((depth, b))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        boards.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        for (_, b) in boards {
+            let project = |z_world: f64| -> Option<(f64, f64, f64)> {
+                let rel = Vec3 {
+                    x: b.position.x - cam_xy.x,
+                    y: b.position.y - cam_xy.y,
+                    z: z_world - cfg.mount_height,
+                };
+                let xc = rel.dot(fwd);
+                if xc < 0.3 {
+                    return None;
+                }
+                let yc = rel.dot(right);
+                let zc = rel.dot(up);
+                let u_n = yc / (xc * tan_h);
+                let v_n = zc / (xc * tan_v);
+                let px = (u_n + 1.0) * 0.5 * w as f64;
+                let py = (1.0 - v_n) * 0.5 * h as f64;
+                Some((px, py, xc))
+            };
+            let (Some((x_b, y_b, depth)), Some((_, y_t, _))) = (project(b.base), project(b.top))
+            else {
+                continue;
+            };
+            let half_w_px = (b.radius / (depth * tan_h)) * w as f64 * 0.5;
+            let fb = (1.0 - (-fog * depth).exp()) as f32;
+            let color = mix(scale(b.color, ambient), haze, fb);
+            img.fill_rect(
+                (x_b - half_w_px).round() as i64,
+                y_t.round() as i64,
+                (x_b + half_w_px).round() as i64,
+                y_b.round() as i64,
+                color,
+            );
+        }
+
+        img
+    }
+}
+
+fn material_color(m: Material) -> Rgb {
+    match m {
+        Material::Grass => [0.16, 0.42, 0.16],
+        Material::Sidewalk => [0.55, 0.55, 0.55],
+        Material::Road => [0.24, 0.24, 0.26],
+        Material::MarkCenter => [0.85, 0.72, 0.12],
+        Material::MarkEdge => [0.88, 0.88, 0.88],
+        Material::Building => [0.38, 0.32, 0.30],
+    }
+}
+
+fn scale(c: Rgb, k: f32) -> Rgb {
+    [c[0] * k, c[1] * k, c[2] * k]
+}
+
+fn mix(a: Rgb, b: Rgb, t: f32) -> Rgb {
+    [
+        a[0] + (b[0] - a[0]) * t,
+        a[1] + (b[1] - a[1]) * t,
+        a[2] + (b[2] - a[2]) * t,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::town::{TownConfig, TownGenerator};
+    use crate::map::LaneKind;
+
+    fn town() -> Map {
+        TownGenerator::new(TownConfig::grid(2, 2)).generate()
+    }
+
+    fn ego_on_lane(map: &Map) -> Pose {
+        let lane = map
+            .lanes()
+            .iter()
+            .find(|l| l.kind() == LaneKind::Drive)
+            .unwrap();
+        Pose::new(lane.point_at(10.0), lane.heading_at(10.0))
+    }
+
+    fn render(map: &Map, weather: Weather, boards: Vec<Billboard>) -> Image {
+        let cam = Camera::new(CameraConfig::default());
+        let scene = RenderScene {
+            map,
+            weather,
+            billboards: boards,
+        };
+        cam.render(&scene, ego_on_lane(map))
+    }
+
+    #[test]
+    fn sky_on_top_ground_on_bottom() {
+        let map = town();
+        let img = render(&map, Weather::ClearNoon, vec![]);
+        // Top-left pixel is sky (blueish: B > R).
+        let top = img.pixel(0, 0);
+        assert!(top[2] > top[0], "top row should be sky: {top:?}");
+        // Bottom-center pixel is road (dark, low saturation).
+        let bot = img.pixel(img.width() / 2, img.height() - 1);
+        assert!(bot[2] < 0.5, "bottom should be road-dark: {bot:?}");
+    }
+
+    #[test]
+    fn road_structure_visible() {
+        // Somewhere in the lower half there must be bright lane-marking
+        // pixels and dark road pixels.
+        let map = town();
+        let img = render(&map, Weather::ClearNoon, vec![]);
+        let g = img.to_grayscale();
+        let w = img.width();
+        let lower = &g[(img.height() / 2) * w..];
+        let max = lower.iter().cloned().fold(0.0f32, f32::max);
+        let min = lower.iter().cloned().fold(1.0f32, f32::min);
+        assert!(max > 0.6, "no bright markings, max={max}");
+        assert!(min < 0.35, "no dark road, min={min}");
+    }
+
+    #[test]
+    fn billboard_renders_in_front() {
+        let map = town();
+        let ego = ego_on_lane(&map);
+        let ahead = ego.position + ego.forward() * 10.0;
+        let clean = render(&map, Weather::ClearNoon, vec![]);
+        let with = render(
+            &map,
+            Weather::ClearNoon,
+            vec![Billboard {
+                position: ahead,
+                radius: 1.0,
+                base: 0.0,
+                top: 1.6,
+                color: [1.0, 0.0, 0.0],
+            }],
+        );
+        assert_ne!(clean, with, "billboard changed nothing");
+        // A strongly red pixel exists in the second render.
+        let reddest = with
+            .data()
+            .chunks_exact(3)
+            .map(|p| p[0] - (p[1] + p[2]) * 0.5)
+            .fold(f32::MIN, f32::max);
+        assert!(reddest > 0.3, "no red pixels found ({reddest})");
+    }
+
+    #[test]
+    fn fog_flattens_contrast() {
+        let map = town();
+        let clear = render(&map, Weather::ClearNoon, vec![]);
+        let foggy = render(&map, Weather::Fog, vec![]);
+        let contrast = |img: &Image| {
+            let g = img.to_grayscale();
+            let mean = g.iter().sum::<f32>() / g.len() as f32;
+            g.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / g.len() as f32
+        };
+        assert!(
+            contrast(&foggy) < contrast(&clear),
+            "fog should reduce variance"
+        );
+    }
+
+    #[test]
+    fn dusk_is_darker_than_noon() {
+        let map = town();
+        let noon = render(&map, Weather::ClearNoon, vec![]);
+        let dusk = render(&map, Weather::Dusk, vec![]);
+        assert!(dusk.mean_luma() < noon.mean_luma());
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let map = town();
+        let a = render(&map, Weather::Rain, vec![]);
+        let b = render(&map, Weather::Rain, vec![]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn billboard_behind_is_invisible() {
+        let map = town();
+        let ego = ego_on_lane(&map);
+        let behind = ego.position - ego.forward() * 10.0;
+        let clean = render(&map, Weather::ClearNoon, vec![]);
+        let with = render(
+            &map,
+            Weather::ClearNoon,
+            vec![Billboard {
+                position: behind,
+                radius: 1.0,
+                base: 0.0,
+                top: 1.6,
+                color: [1.0, 0.0, 1.0],
+            }],
+        );
+        assert_eq!(clean, with);
+    }
+}

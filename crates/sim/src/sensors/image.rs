@@ -1,0 +1,254 @@
+//! RGB image buffer used by the camera sensor and the fault injectors.
+
+use serde::{Deserialize, Serialize};
+
+/// A linear-RGB color with components in `[0, 1]`.
+pub type Rgb = [f32; 3];
+
+/// A row-major RGB image with `f32` channels in `[0, 1]`.
+///
+/// This is the payload AVFI's input fault injectors mutate (Gaussian noise,
+/// salt & pepper, occlusions, water drops), so it exposes direct pixel
+/// access as well as bulk channel access.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl Image {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        Image {
+            width,
+            height,
+            data: vec![0.0; width * height * 3],
+        }
+    }
+
+    /// Creates an image filled with a color.
+    pub fn filled(width: usize, height: usize, color: Rgb) -> Self {
+        let mut img = Image::new(width, height);
+        for px in img.data.chunks_exact_mut(3) {
+            px.copy_from_slice(&color);
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of pixels.
+    #[inline]
+    pub fn pixel_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Raw channel buffer (row-major, RGB interleaved).
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw channel buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        (y * self.width + x) * 3
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn pixel(&self, x: usize, y: usize) -> Rgb {
+        let i = self.idx(x, y);
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set_pixel(&mut self, x: usize, y: usize, c: Rgb) {
+        let i = self.idx(x, y);
+        self.data[i..i + 3].copy_from_slice(&c);
+    }
+
+    /// Blends `c` over the pixel with opacity `alpha ∈ [0, 1]`.
+    #[inline]
+    pub fn blend_pixel(&mut self, x: usize, y: usize, c: Rgb, alpha: f32) {
+        let i = self.idx(x, y);
+        for k in 0..3 {
+            self.data[i + k] = self.data[i + k] * (1.0 - alpha) + c[k] * alpha;
+        }
+    }
+
+    /// Fills an axis-aligned rectangle (clipped to the image).
+    pub fn fill_rect(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, c: Rgb) {
+        let (x0, x1) = (x0.min(x1), x0.max(x1));
+        let (y0, y1) = (y0.min(y1), y0.max(y1));
+        let xs = x0.max(0) as usize;
+        let ys = y0.max(0) as usize;
+        let xe = (x1.max(0) as usize).min(self.width);
+        let ye = (y1.max(0) as usize).min(self.height);
+        for y in ys..ye {
+            for x in xs..xe {
+                self.set_pixel(x, y, c);
+            }
+        }
+    }
+
+    /// Blends a rectangle with opacity `alpha` (clipped to the image).
+    pub fn blend_rect(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, c: Rgb, alpha: f32) {
+        let (x0, x1) = (x0.min(x1), x0.max(x1));
+        let (y0, y1) = (y0.min(y1), y0.max(y1));
+        let xs = x0.max(0) as usize;
+        let ys = y0.max(0) as usize;
+        let xe = (x1.max(0) as usize).min(self.width);
+        let ye = (y1.max(0) as usize).min(self.height);
+        for y in ys..ye {
+            for x in xs..xe {
+                self.blend_pixel(x, y, c, alpha);
+            }
+        }
+    }
+
+    /// Clamps every channel into `[0, 1]` (fault injectors can push values
+    /// outside the displayable range; real camera pipelines saturate).
+    pub fn saturate(&mut self) {
+        for v in &mut self.data {
+            *v = v.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Converts to a grayscale buffer (Rec. 601 luma), row-major.
+    pub fn to_grayscale(&self) -> Vec<f32> {
+        self.data
+            .chunks_exact(3)
+            .map(|p| 0.299 * p[0] + 0.587 * p[1] + 0.114 * p[2])
+            .collect()
+    }
+
+    /// Mean luma over the whole image.
+    pub fn mean_luma(&self) -> f32 {
+        let g = self.to_grayscale();
+        g.iter().sum::<f32>() / g.len().max(1) as f32
+    }
+
+    /// Nearest-neighbor downsample to `w × h`.
+    pub fn resized(&self, w: usize, h: usize) -> Image {
+        assert!(w > 0 && h > 0);
+        let mut out = Image::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let sx = x * self.width / w;
+                let sy = y * self.height / h;
+                out.set_pixel(x, y, self.pixel(sx, sy));
+            }
+        }
+        out
+    }
+
+    /// Renders the image as ASCII art (for terminal debugging).
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let mut s = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let p = self.pixel(x, y);
+                let luma = 0.299 * p[0] + 0.587 * p[1] + 0.114 * p[2];
+                let i = ((luma.clamp(0.0, 1.0)) * (RAMP.len() - 1) as f32).round() as usize;
+                s.push(RAMP[i] as char);
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixel_roundtrip() {
+        let mut img = Image::new(4, 3);
+        img.set_pixel(2, 1, [0.1, 0.5, 0.9]);
+        assert_eq!(img.pixel(2, 1), [0.1, 0.5, 0.9]);
+        assert_eq!(img.pixel(0, 0), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut img = Image::new(4, 4);
+        img.fill_rect(-5, -5, 100, 2, [1.0, 1.0, 1.0]);
+        assert_eq!(img.pixel(0, 0), [1.0, 1.0, 1.0]);
+        assert_eq!(img.pixel(3, 1), [1.0, 1.0, 1.0]);
+        assert_eq!(img.pixel(0, 2), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn blend_is_partial() {
+        let mut img = Image::filled(2, 2, [0.0, 0.0, 0.0]);
+        img.blend_pixel(0, 0, [1.0, 1.0, 1.0], 0.25);
+        let p = img.pixel(0, 0);
+        assert!((p[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn saturate_clamps() {
+        let mut img = Image::new(1, 1);
+        img.set_pixel(0, 0, [2.0, -1.0, 0.5]);
+        img.saturate();
+        assert_eq!(img.pixel(0, 0), [1.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn grayscale_white_is_one() {
+        let img = Image::filled(2, 2, [1.0, 1.0, 1.0]);
+        let g = img.to_grayscale();
+        for v in g {
+            assert!((v - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn resize_preserves_fill() {
+        let img = Image::filled(8, 8, [0.3, 0.6, 0.9]);
+        let small = img.resized(4, 2);
+        assert_eq!(small.width(), 4);
+        assert_eq!(small.height(), 2);
+        assert_eq!(small.pixel(3, 1), [0.3, 0.6, 0.9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_size_rejected() {
+        let _ = Image::new(0, 4);
+    }
+}

@@ -1,0 +1,114 @@
+//! Weather conditions.
+//!
+//! CARLA exposes weather presets (sunny, rainy, foggy); AVFI's data-fault
+//! class includes "changes in the external environment (such as fog or
+//! rain)". Weather here affects both the rendered camera image (ambient
+//! light, fog density, wet-road darkening) and tire friction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A weather preset, mirroring CARLA's built-in conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Weather {
+    /// Clear daylight: full visibility, full friction.
+    #[default]
+    ClearNoon,
+    /// Overcast: dimmer ambient light.
+    Overcast,
+    /// Rain: darker, wet roads (reduced friction), mild visibility loss.
+    Rain,
+    /// Fog: strong distance attenuation of the camera image.
+    Fog,
+    /// Dusk: low ambient light.
+    Dusk,
+}
+
+impl Weather {
+    /// All presets, for sweeps.
+    pub const ALL: [Weather; 5] = [
+        Weather::ClearNoon,
+        Weather::Overcast,
+        Weather::Rain,
+        Weather::Fog,
+        Weather::Dusk,
+    ];
+
+    /// Ambient light multiplier applied to rendered colors, in `(0, 1]`.
+    pub fn ambient_light(self) -> f64 {
+        match self {
+            Weather::ClearNoon => 1.0,
+            Weather::Overcast => 0.8,
+            Weather::Rain => 0.65,
+            Weather::Fog => 0.75,
+            Weather::Dusk => 0.45,
+        }
+    }
+
+    /// Exponential fog density (per meter). The camera blends ground color
+    /// toward the horizon color with factor `1 - exp(-density * distance)`.
+    pub fn fog_density(self) -> f64 {
+        match self {
+            Weather::ClearNoon => 0.002,
+            Weather::Overcast => 0.004,
+            Weather::Rain => 0.012,
+            Weather::Fog => 0.055,
+            Weather::Dusk => 0.006,
+        }
+    }
+
+    /// Tire friction multiplier, in `(0, 1]`. Braking and cornering forces
+    /// scale with it.
+    pub fn friction(self) -> f64 {
+        match self {
+            Weather::ClearNoon => 1.0,
+            Weather::Overcast => 1.0,
+            Weather::Rain => 0.7,
+            Weather::Fog => 0.95,
+            Weather::Dusk => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for Weather {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Weather::ClearNoon => "clear-noon",
+            Weather::Overcast => "overcast",
+            Weather::Rain => "rain",
+            Weather::Fog => "fog",
+            Weather::Dusk => "dusk",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_ranges() {
+        for w in Weather::ALL {
+            assert!(w.ambient_light() > 0.0 && w.ambient_light() <= 1.0);
+            assert!(w.fog_density() > 0.0);
+            assert!(w.friction() > 0.0 && w.friction() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn fog_is_foggiest() {
+        let max = Weather::ALL
+            .iter()
+            .map(|w| (w.fog_density(), *w))
+            .fold((0.0, Weather::ClearNoon), |a, b| if b.0 > a.0 { b } else { a });
+        assert_eq!(max.1, Weather::Fog);
+    }
+
+    #[test]
+    fn rain_is_slipperiest() {
+        for w in Weather::ALL {
+            assert!(Weather::Rain.friction() <= w.friction());
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based invariants of the town generator and route planner:
+//! for any reasonable grid configuration, the road network must be
+//! strongly connected, routable, and geometrically consistent.
+
+use avfi_sim::map::route::plan_route;
+use avfi_sim::map::town::{TownConfig, TownGenerator};
+use avfi_sim::map::{LaneKind, Material};
+use proptest::prelude::*;
+
+fn arb_town() -> impl Strategy<Value = TownConfig> {
+    (2usize..5, 2usize..5, 60.0f64..120.0, prop::bool::ANY).prop_map(
+        |(cols, rows, block, signalized)| TownConfig {
+            cols,
+            rows,
+            block,
+            signalized,
+            ..TownConfig::grid(cols, rows)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every drive lane can reach every other drive lane (the lane graph of
+    /// a grid town is strongly connected), so mission sampling can never
+    /// dead-end.
+    #[test]
+    fn all_drive_lane_pairs_are_routable(cfg in arb_town()) {
+        let map = TownGenerator::new(cfg).generate();
+        let drive: Vec<_> = map
+            .lanes()
+            .iter()
+            .filter(|l| l.kind() == LaneKind::Drive)
+            .map(|l| l.id())
+            .collect();
+        prop_assert!(drive.len() >= 4);
+        // Exhaustive is O(n²) with n ≤ ~50; sample a diagonal stripe.
+        for (i, &a) in drive.iter().enumerate() {
+            let b = drive[(i * 7 + 3) % drive.len()];
+            if a == b {
+                continue;
+            }
+            let route = plan_route(&map, a, 0.0, b);
+            prop_assert!(route.is_some(), "no route {a} -> {b}");
+            let route = route.unwrap();
+            prop_assert!(route.length() > 0.0);
+            // Route lanes alternate validity: consecutive lanes are
+            // connected in the successor graph.
+            for w in route.lanes().windows(2) {
+                prop_assert!(
+                    map.successors(w[0]).contains(&w[1]),
+                    "route uses non-successor edge {} -> {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    /// Walking any lane centerline samples road-like material the whole
+    /// way (lane centers are never off-pavement), and every lane start
+    /// heading matches its first segment.
+    #[test]
+    fn lane_centerlines_are_paved(cfg in arb_town()) {
+        let map = TownGenerator::new(cfg).generate();
+        for lane in map.lanes() {
+            let n = (lane.length() / 5.0).ceil() as usize;
+            for k in 0..=n {
+                let s = lane.length() * k as f64 / n.max(1) as f64;
+                let p = lane.point_at(s);
+                let m = map.material_at(p);
+                prop_assert!(
+                    !matches!(m, Material::Grass | Material::Building),
+                    "{} off-pavement at s={s}: {m:?}",
+                    lane.id()
+                );
+            }
+        }
+    }
+
+    /// Projections are consistent: projecting a point on the centerline
+    /// returns (approximately) its own arc length with near-zero lateral.
+    #[test]
+    fn lane_projection_roundtrip(cfg in arb_town(), frac in 0.0f64..1.0) {
+        let map = TownGenerator::new(cfg).generate();
+        for lane in map.lanes().iter().step_by(5) {
+            let s = lane.length() * frac;
+            let p = lane.point_at(s);
+            let proj = lane.project(p);
+            prop_assert!((proj.s - s).abs() < 1.5, "{}: s {s} -> {}", lane.id(), proj.s);
+            prop_assert!(proj.distance < 1e-6);
+        }
+    }
+
+    /// The spatial index agrees with brute force for nearest-lane queries.
+    #[test]
+    fn nearest_lane_matches_brute_force(cfg in arb_town(), fx in 0.05f64..0.95, fy in 0.05f64..0.95) {
+        let map = TownGenerator::new(cfg).generate();
+        let b = *map.bounds();
+        let p = avfi_sim::math::Vec2::new(
+            b.min.x + b.width() * fx,
+            b.min.y + b.height() * fy,
+        );
+        let fast = map.nearest_lane(p, 6.0);
+        let brute = map
+            .lanes()
+            .iter()
+            .map(|l| (l.id(), l.project(p)))
+            .filter(|(_, pr)| pr.distance <= 6.0)
+            .min_by(|a, b| a.1.distance.partial_cmp(&b.1.distance).unwrap());
+        match (fast, brute) {
+            (Some((_, pf)), Some((_, pb))) => {
+                prop_assert!((pf.distance - pb.distance).abs() < 1e-9);
+            }
+            (None, None) => {}
+            (f, b) => prop_assert!(false, "index {f:?} vs brute {b:?}"),
+        }
+    }
+}

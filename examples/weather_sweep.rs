@@ -1,0 +1,68 @@
+//! Weather sweep: AVFI's data-fault class includes "changes in the
+//! external environment (such as fog or rain)". This example evaluates
+//! both agents across every weather preset and tabulates success rate and
+//! violations per km — the environment-robustness view of the paper's
+//! resilience metrics.
+//!
+//! ```text
+//! cargo run --release --example weather_sweep
+//! ```
+
+use avfi::agent::controller::NeuralDriver;
+use avfi::agent::eval::evaluate;
+use avfi::agent::train::train_default_agent;
+use avfi::agent::{ExpertDriver, IlNetwork};
+use avfi::fi::report::Table;
+use avfi::sim::scenario::{Scenario, TownSpec};
+use avfi::sim::weather::Weather;
+
+fn scenarios(weather: Weather) -> Vec<Scenario> {
+    [601u64, 602, 603]
+        .iter()
+        .map(|&seed| {
+            let mut town = TownSpec::grid(3, 3);
+            town.signalized = false;
+            Scenario::builder(town)
+                .seed(seed)
+                .npc_vehicles(0)
+                .pedestrians(0)
+                .weather(weather)
+                .time_budget(120.0)
+                .build()
+        })
+        .collect()
+}
+
+fn main() {
+    println!("training the IL agent (clear + overcast demonstrations only)...");
+    let (mut net, _) = train_default_agent(42);
+    let weights = net.to_weights();
+
+    let mut table = Table::new(vec![
+        "weather",
+        "expert MSR (%)",
+        "expert VPK",
+        "IL-CNN MSR (%)",
+        "IL-CNN VPK",
+    ]);
+    for weather in Weather::ALL {
+        let suite = scenarios(weather);
+        let mut expert = ExpertDriver::new();
+        let e = evaluate(&suite, &mut expert);
+        let mut neural = NeuralDriver::new(IlNetwork::from_weights(&weights).expect("weights"));
+        let n = evaluate(&suite, &mut neural);
+        table.row(vec![
+            weather.to_string(),
+            format!("{:.0}", e.success_rate()),
+            format!("{:.2}", e.violations_per_km()),
+            format!("{:.0}", n.success_rate()),
+            format!("{:.2}", n.violations_per_km()),
+        ]);
+    }
+    println!("\n{}", table.render());
+    println!(
+        "The oracle expert is weather-immune by construction; the camera-driven\n\
+         IL agent degrades in conditions it never saw in training (rain, fog,\n\
+         dusk) — an untrained-distribution data fault in the AVFI taxonomy."
+    );
+}

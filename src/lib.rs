@@ -1,0 +1,17 @@
+//! # avfi — umbrella crate for the AVFI reproduction
+//!
+//! Re-exports every subsystem of the AVFI workspace (Jha et al., *AVFI:
+//! Fault Injection for Autonomous Vehicles*, DSN 2018) under one roof so
+//! examples and downstream users need a single dependency:
+//!
+//! * [`sim`] — the urban world simulator (CARLA substitute),
+//! * [`net`] — the lockstep client/server sensor–compute–actuate loop,
+//! * [`nn`] — the from-scratch CNN library,
+//! * [`agent`] — the expert autopilot and the conditional imitation agent,
+//! * [`fi`] — AVFI itself: fault models, injectors, campaigns and metrics.
+
+pub use avfi_agent as agent;
+pub use avfi_core as fi;
+pub use avfi_net as net;
+pub use avfi_nn as nn;
+pub use avfi_sim as sim;

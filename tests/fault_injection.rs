@@ -1,0 +1,219 @@
+//! Integration tests for each of the paper's four fault classes, applied
+//! end-to-end through the campaign harness.
+
+use avfi::agent::IlNetwork;
+use avfi::fi::campaign::{run_single, AgentSpec};
+use avfi::fi::fault::hardware::{BitFaultModel, HardwareFault, HardwareTarget};
+use avfi::fi::fault::input::{ImageFault, InputFault};
+use avfi::fi::fault::ml::MlFault;
+use avfi::fi::fault::timing::TimingFault;
+use avfi::fi::fault::FaultSpec;
+use avfi::fi::localizer::ParamSelector;
+use avfi::fi::trigger::Trigger;
+use std::sync::Arc;
+
+fn scenario(seed: u64) -> avfi::sim::scenario::Scenario {
+    let mut town = avfi::sim::scenario::TownSpec::grid(3, 3);
+    town.signalized = false;
+    avfi::sim::scenario::Scenario::builder(town)
+        .seed(seed)
+        .npc_vehicles(0)
+        .pedestrians(0)
+        .time_budget(45.0)
+        .build()
+}
+
+fn neural_agent(seed: u64) -> AgentSpec {
+    // An untrained network may sit still forever, which would mask fault
+    // effects; bias every head's throttle output so the car always moves.
+    let mut net = IlNetwork::new(seed);
+    for p in net.params() {
+        if p.name.ends_with("dense2.bias") && p.name.starts_with("head") {
+            p.values[1] = 0.6; // throttle
+            p.values[2] = -1.0; // brake off
+        }
+    }
+    AgentSpec::Neural {
+        weights: Arc::new(net.to_weights()),
+    }
+}
+
+#[test]
+fn every_fault_class_has_a_distinct_label() {
+    let specs = vec![
+        FaultSpec::None,
+        FaultSpec::Input(InputFault::always(ImageFault::gaussian(0.1))),
+        FaultSpec::Hardware(HardwareFault::always(
+            HardwareTarget::ControlSteer,
+            BitFaultModel::StuckAt { value: 1.0 },
+        )),
+        FaultSpec::Timing(TimingFault::OutputDelay { frames: 10 }),
+        FaultSpec::Ml(MlFault::WeightNoise {
+            sigma: 0.1,
+            fraction: 1.0,
+            selector: ParamSelector::All,
+        }),
+    ];
+    let labels: std::collections::HashSet<String> =
+        specs.iter().map(|s| s.label()).collect();
+    assert_eq!(labels.len(), specs.len());
+    let classes: Vec<&str> = specs.iter().map(|s| s.class()).collect();
+    assert_eq!(
+        classes,
+        vec!["none", "data", "hardware", "timing", "machine-learning"]
+    );
+}
+
+#[test]
+fn input_fault_changes_neural_trajectory() {
+    // Identical seed, identical (untrained) network: the only difference
+    // is the injected camera fault, so any trajectory divergence is the
+    // injector's doing.
+    let agent = neural_agent(5);
+    let clean = run_single(&scenario(60), 0, 0, &FaultSpec::None, &agent);
+    let clean2 = run_single(&scenario(60), 0, 0, &FaultSpec::None, &agent);
+    assert_eq!(
+        clean.distance_km, clean2.distance_km,
+        "baseline must be deterministic"
+    );
+    let faulty = run_single(
+        &scenario(60),
+        0,
+        0,
+        &FaultSpec::Input(InputFault::always(ImageFault::salt_pepper(0.2))),
+        &agent,
+    );
+    assert!(
+        (clean.distance_km - faulty.distance_km).abs() > 1e-9
+            || clean.violations.len() != faulty.violations.len()
+            || clean.duration != faulty.duration,
+        "input fault had no observable effect"
+    );
+    assert_eq!(faulty.injection_time, Some(0.0));
+}
+
+#[test]
+fn stuck_steer_causes_violations_for_expert() {
+    let fault = FaultSpec::Hardware(HardwareFault::always(
+        HardwareTarget::ControlSteer,
+        BitFaultModel::StuckAt { value: 0.6 },
+    ));
+    let result = run_single(&scenario(61), 0, 0, &fault, &AgentSpec::Expert);
+    assert!(
+        !result.violations.is_empty(),
+        "a stuck steering command must take the car off course"
+    );
+    assert!(!result.outcome.is_success());
+}
+
+#[test]
+fn stuck_brake_prevents_any_progress() {
+    let fault = FaultSpec::Hardware(HardwareFault::always(
+        HardwareTarget::ControlBrake,
+        BitFaultModel::StuckAt { value: 1.0 },
+    ));
+    let result = run_single(&scenario(62), 0, 0, &fault, &AgentSpec::Expert);
+    assert!(result.distance_km < 0.005, "moved {} km", result.distance_km);
+    assert!(!result.outcome.is_success());
+}
+
+#[test]
+fn transient_bitflip_window_only_fires_inside_window() {
+    let fault = FaultSpec::Hardware(HardwareFault {
+        target: HardwareTarget::ControlThrottle,
+        model: BitFaultModel::SingleBitFlip { bit: 63 },
+        trigger: Trigger::Window {
+            start: 1_000_000,
+            end: 1_000_001,
+        },
+    });
+    // Window far beyond mission end: behaves exactly like fault-free.
+    let clean = run_single(&scenario(63), 0, 0, &FaultSpec::None, &AgentSpec::Expert);
+    let gated = run_single(&scenario(63), 0, 0, &fault, &AgentSpec::Expert);
+    assert_eq!(clean.distance_km, gated.distance_km);
+    assert_eq!(clean.violations.len(), gated.violations.len());
+    assert_eq!(gated.injection_time, None);
+}
+
+#[test]
+fn ml_weight_noise_severity_ordering() {
+    // Heavier parameter noise must not make the (trained-free) policy
+    // *more* deterministic-identical to baseline; verify it changes
+    // behavior and that injection is recorded at t=0.
+    let agent = neural_agent(8);
+    let clean = run_single(&scenario(64), 0, 0, &FaultSpec::None, &agent);
+    let noisy = run_single(
+        &scenario(64),
+        0,
+        0,
+        &FaultSpec::Ml(MlFault::WeightNoise {
+            sigma: 0.5,
+            fraction: 1.0,
+            selector: ParamSelector::All,
+        }),
+        &agent,
+    );
+    assert_eq!(noisy.injection_time, Some(0.0));
+    assert!(
+        (clean.distance_km - noisy.distance_km).abs() > 1e-12
+            || clean.duration != noisy.duration
+            || clean.violations.len() != noisy.violations.len(),
+        "weight noise had no effect"
+    );
+}
+
+#[test]
+fn neuron_stuck_at_is_injected() {
+    let agent = neural_agent(9);
+    let clean = run_single(&scenario(65), 0, 0, &FaultSpec::None, &agent);
+    let stuck = run_single(
+        &scenario(65),
+        0,
+        0,
+        &FaultSpec::Ml(MlFault::NeuronStuckAt {
+            layer: 5,
+            unit: 10,
+            value: 25.0,
+        }),
+        &agent,
+    );
+    assert!(
+        (clean.distance_km - stuck.distance_km).abs() > 1e-12
+            || clean.duration != stuck.duration,
+        "stuck neuron had no effect"
+    );
+}
+
+#[test]
+fn timing_drop_all_frames_equals_no_actuation() {
+    let fault = FaultSpec::Timing(TimingFault::DropFrames { p: 1.0 });
+    let result = run_single(&scenario(66), 0, 0, &fault, &AgentSpec::Expert);
+    // Every command lost → the car never receives throttle → no distance.
+    assert!(result.distance_km < 0.005);
+}
+
+#[test]
+fn delay_severity_monotonic_for_expert() {
+    // More delay must never help: distance to violations tradeoff checked
+    // via aggregate violations across two seeds.
+    let count = |frames: usize| {
+        let fault = if frames == 0 {
+            FaultSpec::None
+        } else {
+            FaultSpec::Timing(TimingFault::OutputDelay { frames })
+        };
+        (0..2)
+            .map(|i| {
+                run_single(&scenario(70 + i), 0, i as usize, &fault, &AgentSpec::Expert)
+                    .violations
+                    .len()
+            })
+            .sum::<usize>()
+    };
+    let v0 = count(0);
+    let v30 = count(30);
+    assert!(
+        v30 > v0,
+        "30-frame delay should violate more: v0={v0}, v30={v30}"
+    );
+}
