@@ -4,20 +4,48 @@
 use crate::features::{image_to_tensor, normalize_speed};
 use crate::ilnet::IlNetwork;
 use avfi_sim::physics::VehicleControl;
+use avfi_sim::sensors::{GpsFix, Image, LidarScan};
 use avfi_sim::world::{World, WorldObservation};
 
 /// Everything a driver may look at for one frame.
 ///
-/// The *neural* driver must only read `obs` — the sensor payload that fault
-/// injectors corrupt. The *expert* additionally reads ground truth through
-/// `world` (it stands in for a perfect-perception oracle). Keeping both in
-/// one struct lets the campaign runner treat all drivers uniformly.
+/// The sensor channels a fault injector may corrupt are broken out as
+/// standalone fields (`image`, `lidar`, `gps`, `speed`) so the injector can
+/// override a single channel without cloning the whole observation; drivers
+/// must read those fields, never the corresponding members of `obs`. The
+/// *neural* driver must only read the sensor fields plus `obs.command`. The
+/// *expert* additionally reads ground truth through `world` (it stands in
+/// for a perfect-perception oracle). Keeping both in one struct lets the
+/// campaign runner treat all drivers uniformly.
 #[derive(Debug)]
 pub struct DriverInput<'a> {
-    /// The (possibly fault-injected) observation from the server.
+    /// The observation from the server. Sensor channels duplicated in the
+    /// fields below may be stale here — read the fields instead.
     pub obs: &'a WorldObservation,
     /// Ground-truth world access (oracle drivers only).
     pub world: &'a World,
+    /// Effective (possibly fault-injected) camera image.
+    pub image: &'a Image,
+    /// Effective LIDAR sweep.
+    pub lidar: &'a LidarScan,
+    /// Effective GPS fix.
+    pub gps: GpsFix,
+    /// Effective speedometer reading, m/s.
+    pub speed: f64,
+}
+
+impl<'a> DriverInput<'a> {
+    /// An uncorrupted frame: every effective sensor field mirrors `obs`.
+    pub fn clean(obs: &'a WorldObservation, world: &'a World) -> Self {
+        DriverInput {
+            obs,
+            world,
+            image: &obs.sensors.image,
+            lidar: &obs.sensors.lidar,
+            gps: obs.sensors.gps,
+            speed: obs.sensors.speed,
+        }
+    }
 }
 
 /// A closed-loop driving policy.
@@ -55,8 +83,8 @@ impl NeuralDriver {
 
 impl Driver for NeuralDriver {
     fn drive(&mut self, input: &DriverInput<'_>) -> VehicleControl {
-        let image = image_to_tensor(&input.obs.sensors.image);
-        let speed = normalize_speed(input.obs.sensors.speed);
+        let image = image_to_tensor(input.image);
+        let speed = normalize_speed(input.speed);
         self.net.predict(&image, speed, input.obs.command)
     }
 
@@ -80,10 +108,7 @@ mod tests {
         let mut world = World::from_scenario(&scenario);
         let obs = world.observe();
         let mut driver = NeuralDriver::new(IlNetwork::new(7));
-        let c = driver.drive(&DriverInput {
-            obs: &obs,
-            world: &world,
-        });
+        let c = driver.drive(&DriverInput::clean(&obs, &world));
         assert!(c.steer.abs() <= 1.0);
         assert!((0.0..=1.0).contains(&c.throttle));
         assert!((0.0..=1.0).contains(&c.brake));

@@ -119,7 +119,11 @@ pub fn collect_scenario(scenario: &Scenario, config: &CollectConfig) -> DemoData
             image: image_to_tensor(&obs.sensors.image),
             speed: normalize_speed(obs.sensors.speed),
             command: obs.command,
-            target: [label.steer as f32, label.throttle as f32, label.brake as f32],
+            target: [
+                label.steer as f32,
+                label.throttle as f32,
+                label.brake as f32,
+            ],
         });
         // Exploration noise: execute a perturbed steering, keep the clean
         // label.

@@ -68,17 +68,15 @@ pub fn run_mission(scenario: &Scenario, driver: &mut dyn Driver) -> MissionRepor
     let mut world = World::from_scenario(scenario);
     let mut speed_sum = 0.0;
     let mut frames = 0u64;
+    let mut obs = world.observe();
     loop {
-        let obs = world.observe();
-        let control = driver.drive(&DriverInput {
-            obs: &obs,
-            world: &world,
-        });
+        let control = driver.drive(&DriverInput::clean(&obs, &world));
         speed_sum += world.ego().speed;
         frames += 1;
         if world.step(control).is_terminal() {
             break;
         }
+        world.observe_into(&mut obs);
     }
     let mut violations = BTreeMap::new();
     for kind in ViolationKind::ALL {
@@ -109,10 +107,7 @@ pub fn run_mission(scenario: &Scenario, driver: &mut dyn Driver) -> MissionRepor
 /// Runs a batch of missions.
 pub fn evaluate(scenarios: &[Scenario], driver: &mut dyn Driver) -> EvalSummary {
     EvalSummary {
-        missions: scenarios
-            .iter()
-            .map(|s| run_mission(s, driver))
-            .collect(),
+        missions: scenarios.iter().map(|s| run_mission(s, driver)).collect(),
     }
 }
 

@@ -100,8 +100,7 @@ impl ExpertDriver {
                     if state != LightState::Green {
                         let proj = lane.project(ego.pose.position);
                         let dist = (lane.length() - proj.s - 2.5).max(0.0);
-                        let envelope =
-                            world.ego_model().stopping_distance(v, 1.0) * 2.0 + 6.0;
+                        let envelope = world.ego_model().stopping_distance(v, 1.0) * 2.0 + 6.0;
                         if dist < envelope {
                             // Ramp down to a stop at the line.
                             v_target = v_target.min((0.45 * dist).max(0.0));
@@ -238,7 +237,10 @@ mod tests {
         for _ in 0..(30.0 * 15.0) as usize {
             let c = expert.control_for(&world);
             assert!(c.steer.is_finite() && c.throttle.is_finite());
-            assert!(!(c.throttle > 0.0 && c.brake > 0.0), "throttle+brake together");
+            assert!(
+                !(c.throttle > 0.0 && c.brake > 0.0),
+                "throttle+brake together"
+            );
             if world.step(c).is_terminal() {
                 break;
             }

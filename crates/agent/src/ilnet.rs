@@ -52,7 +52,11 @@ impl IlNetwork {
         trunk.push(Conv2d::new(8, 16, 3, 2, 1, &mut rng));
         trunk.push(Relu::new());
         trunk.push(Flatten::new());
-        trunk.push(Dense::new(16 * (NET_HEIGHT / 4) * (NET_WIDTH / 4), FEATURE_DIM, &mut rng));
+        trunk.push(Dense::new(
+            16 * (NET_HEIGHT / 4) * (NET_WIDTH / 4),
+            FEATURE_DIM,
+            &mut rng,
+        ));
         trunk.push(Relu::new());
         let heads = (0..Command::ALL.len())
             .map(|_| {
@@ -161,7 +165,8 @@ impl IlNetwork {
     /// Installs a stuck-at neuron fault after a trunk layer (ML fault
     /// injection).
     pub fn add_trunk_override(&mut self, layer: usize, unit: usize, value: f32) {
-        self.trunk.add_override(ActivationOverride { layer, unit, value });
+        self.trunk
+            .add_override(ActivationOverride { layer, unit, value });
     }
 
     /// Removes all neuron faults.
@@ -262,10 +267,8 @@ mod tests {
         let mut net = IlNetwork::new(7);
         // conv1: 8*1*25+8; conv2: 16*8*9+16; dense: 768*64+64;
         // heads: 4 * (65*32+32 + 32*3+3).
-        let expected = (8 * 25 + 8)
-            + (16 * 8 * 9 + 16)
-            + (768 * 64 + 64)
-            + 4 * (65 * 32 + 32 + 32 * 3 + 3);
+        let expected =
+            (8 * 25 + 8) + (16 * 8 * 9 + 16) + (768 * 64 + 64) + 4 * (65 * 32 + 32 + 32 * 3 + 3);
         assert_eq!(net.param_count(), expected);
     }
 }

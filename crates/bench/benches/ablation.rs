@@ -36,7 +36,7 @@ fn bench_camera_resolutions(c: &mut Criterion) {
     let scene = RenderScene {
         map: &map,
         weather: Weather::ClearNoon,
-        billboards: Vec::new(),
+        billboards: &[],
     };
     let mut group = c.benchmark_group("ablation/camera_resolution");
     for (w, h) in [(32usize, 24usize), (64, 48), (128, 96), (256, 192)] {
@@ -114,23 +114,13 @@ fn bench_controllers(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/controller_decision");
     let mut expert = ExpertDriver::new();
     group.bench_function("expert", |b| {
-        b.iter(|| {
-            black_box(expert.drive(&DriverInput {
-                obs: &obs,
-                world: &world,
-            }))
-        })
+        b.iter(|| black_box(expert.drive(&DriverInput::clean(&obs, &world))))
     });
     let mut neural = NeuralDriver::new(
         avfi_agent::IlNetwork::from_weights(&trained_weights()).expect("weights"),
     );
     group.bench_function("il_cnn", |b| {
-        b.iter(|| {
-            black_box(neural.drive(&DriverInput {
-                obs: &obs,
-                world: &world,
-            }))
-        })
+        b.iter(|| black_box(neural.drive(&DriverInput::clean(&obs, &world))))
     });
     group.finish();
 }

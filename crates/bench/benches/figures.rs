@@ -66,13 +66,16 @@ fn bench_fig4(c: &mut Criterion) {
         } else {
             FaultSpec::Timing(TimingFault::OutputDelay { frames })
         };
-        group.bench_function(BenchmarkId::from_parameter(format!("{frames}frames")), |b| {
-            let mut run = 0;
-            b.iter(|| {
-                run += 1;
-                black_box(mission(&agent, &spec, run))
-            })
-        });
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{frames}frames")),
+            |b| {
+                let mut run = 0;
+                b.iter(|| {
+                    run += 1;
+                    black_box(mission(&agent, &spec, run))
+                })
+            },
+        );
     }
     group.finish();
 }

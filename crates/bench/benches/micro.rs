@@ -55,8 +55,8 @@ fn bench_map_queries(c: &mut Criterion) {
     let goal = map
         .lanes()
         .iter()
-        .filter(|l| l.kind() == LaneKind::Drive)
-        .last()
+        .rev()
+        .find(|l| l.kind() == LaneKind::Drive)
         .unwrap()
         .id();
     c.bench_function("map/plan_route_4x4", |b| {
@@ -76,10 +76,14 @@ fn bench_sensors(c: &mut Criterion) {
     let scene = RenderScene {
         map: &map,
         weather: Weather::ClearNoon,
-        billboards: Vec::new(),
+        billboards: &[],
     };
     c.bench_function("sensors/camera_render_64x48", |b| {
         b.iter(|| black_box(camera.render(&scene, pose)))
+    });
+    let mut reused = camera.render(&scene, pose);
+    c.bench_function("sensors/camera_render_into_64x48", |b| {
+        b.iter(|| camera.render_into(&scene, pose, black_box(&mut reused)))
     });
     let lidar = Lidar::new(LidarConfig::default());
     let shapes: Vec<_> = map
@@ -105,9 +109,12 @@ fn bench_nn(c: &mut Criterion) {
     let scene = RenderScene {
         map: &map,
         weather: Weather::ClearNoon,
-        billboards: Vec::new(),
+        billboards: &[],
     };
-    let img = camera.render(&scene, Pose::new(lane.point_at(10.0), lane.heading_at(10.0)));
+    let img = camera.render(
+        &scene,
+        Pose::new(lane.point_at(10.0), lane.heading_at(10.0)),
+    );
     let tensor = image_to_tensor(&img);
     c.bench_function("nn/ilnet_forward", |b| {
         b.iter(|| black_box(net.predict(black_box(&tensor), 0.5, Command::Follow)))
@@ -144,6 +151,28 @@ fn bench_codec(c: &mut Criterion) {
             let mut buf = BytesMut::new();
             codec::encode(black_box(&obs), &mut buf).unwrap();
             black_box(codec::decode(&mut buf).unwrap())
+        })
+    });
+}
+
+/// The closed-loop frame pipeline end-to-end (expert agent, 2×2 town):
+/// the loop `run_single` executes thousands of times per campaign. The
+/// `frame_fps` bin reports the same loop as frames/sec for BENCH_*.json.
+fn bench_full_loop(c: &mut Criterion) {
+    let scenario = Scenario::builder(TownSpec::grid(2, 2))
+        .seed(5)
+        .npc_vehicles(2)
+        .pedestrians(2)
+        .time_budget(1e9)
+        .build();
+    let mut world = World::from_scenario(&scenario);
+    let mut driver = AvDriver::expert(FaultSpec::None, 11);
+    let mut obs = world.observe();
+    c.bench_function("loop/observe_drive_step", |b| {
+        b.iter(|| {
+            let control = driver.drive_frame(black_box(&obs), &world);
+            black_box(world.step(control));
+            world.observe_into(&mut obs);
         })
     });
 }
@@ -200,6 +229,6 @@ criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(30);
     targets = bench_physics, bench_map_queries, bench_sensors, bench_nn,
-              bench_codec, bench_world, bench_injection_overhead
+              bench_codec, bench_full_loop, bench_world, bench_injection_overhead
 }
 criterion_main!(micro);

@@ -1,0 +1,48 @@
+//! Closed-loop frame-rate benchmark: the `observe → drive_frame → step`
+//! loop every campaign run executes, measured end to end with the expert
+//! agent on a 2×2 town. Emits one JSON object on stdout (the record format
+//! stored in `BENCH_*.json` at the repo root).
+//!
+//! Usage: `cargo run --release -p avfi-bench --bin frame_fps [frames]`
+
+use avfi_core::fault::FaultSpec;
+use avfi_core::harness::AvDriver;
+use avfi_sim::scenario::{Scenario, TownSpec};
+use avfi_sim::world::World;
+use std::time::Instant;
+
+const WARMUP_FRAMES: u64 = 200;
+
+fn main() {
+    let frames: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5000);
+    let scenario = Scenario::builder(TownSpec::grid(2, 2))
+        .seed(5)
+        .npc_vehicles(2)
+        .pedestrians(2)
+        .time_budget(1e9)
+        .build();
+    let mut world = World::from_scenario(&scenario);
+    let mut driver = AvDriver::expert(FaultSpec::None, 11);
+
+    let mut obs = world.observe();
+    let mut frame_loop = |n: u64| {
+        for _ in 0..n {
+            let control = driver.drive_frame(&obs, &world);
+            world.step(control);
+            world.observe_into(&mut obs);
+        }
+    };
+    frame_loop(WARMUP_FRAMES);
+    let start = Instant::now();
+    frame_loop(frames);
+    let secs = start.elapsed().as_secs_f64();
+
+    println!(
+        "{{\"bench\": \"frame_loop_fps\", \"agent\": \"expert\", \"town\": \"2x2\", \
+         \"frames\": {frames}, \"seconds\": {secs:.6}, \"fps\": {:.1}}}",
+        frames as f64 / secs
+    );
+}

@@ -102,7 +102,10 @@ pub fn trained_weights() -> Arc<Vec<u8>> {
                     return Arc::new(bytes);
                 }
             }
-            eprintln!("[avfi-bench] training IL agent (cached at {})", path.display());
+            eprintln!(
+                "[avfi-bench] training IL agent (cached at {})",
+                path.display()
+            );
             let (mut net, losses) = train_default_agent(42);
             eprintln!("[avfi-bench] imitation losses per epoch: {losses:?}");
             let bytes = net.to_weights();
@@ -178,12 +181,7 @@ pub fn output_delay_study(scale: Scale) -> Vec<CampaignResult> {
 
 /// Renders the Figure 2 table (mission success rate per injector).
 pub fn render_fig2(results: &[CampaignResult]) -> String {
-    let mut table = report::Table::new(vec![
-        "Input Fault Injector",
-        "Runs",
-        "MSR (%)",
-        "",
-    ]);
+    let mut table = report::Table::new(vec!["Input Fault Injector", "Runs", "MSR (%)", ""]);
     for r in results {
         let msr = metrics::mission_success_rate(r.runs());
         table.row(vec![
@@ -315,7 +313,14 @@ mod tests {
         let labels: Vec<String> = specs.iter().map(|s| s.label()).collect();
         assert_eq!(
             labels,
-            vec!["NoInject", "Gaussian", "S&P", "SolidOcc", "TranspOcc", "WaterDrop"]
+            vec![
+                "NoInject",
+                "Gaussian",
+                "S&P",
+                "SolidOcc",
+                "TranspOcc",
+                "WaterDrop"
+            ]
         );
     }
 

@@ -126,7 +126,10 @@ impl CampaignConfig {
     ///
     /// Panics if `scenarios` is empty.
     pub fn builder(scenarios: Vec<Scenario>) -> CampaignConfigBuilder {
-        assert!(!scenarios.is_empty(), "campaign needs at least one scenario");
+        assert!(
+            !scenarios.is_empty(),
+            "campaign needs at least one scenario"
+        );
         CampaignConfigBuilder {
             config: CampaignConfig {
                 scenarios,
@@ -285,9 +288,14 @@ pub fn run_single(
     agent: &AgentSpec,
 ) -> RunResult {
     // Derive a per-run scenario: same town/config, new mission/traffic
-    // seed.
+    // seed. The stream index mixes in `scenario_index` so two scenarios
+    // that happen to share a template seed still get distinct traffic
+    // (mixing only `run_index` would replay identical runs across them).
     let mut scenario = template.clone();
-    scenario.seed = split_seed(template.seed, run_index as u64 + 1);
+    scenario.seed = split_seed(
+        template.seed,
+        ((scenario_index as u64) << 32) | (run_index as u64 + 1),
+    );
     let mut world = World::from_scenario(&scenario);
     let mut driver = match agent {
         AgentSpec::Expert => AvDriver::expert(fault.clone(), scenario.seed),
@@ -296,12 +304,13 @@ pub fn run_single(
             AvDriver::neural(net, fault.clone(), scenario.seed)
         }
     };
+    let mut obs = world.observe();
     loop {
-        let obs = world.observe();
         let control = driver.drive_frame(&obs, &world);
         if world.step(control).is_terminal() {
             break;
         }
+        world.observe_into(&mut obs);
     }
     RunResult {
         fault: fault.label(),
@@ -378,9 +387,31 @@ mod tests {
             .runs_per_scenario(4)
             .build();
         let result = Campaign::new(config).run();
-        let seeds: std::collections::HashSet<u64> =
-            result.runs().iter().map(|r| r.seed).collect();
+        let seeds: std::collections::HashSet<u64> = result.runs().iter().map(|r| r.seed).collect();
         assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn same_template_seed_scenarios_diverge() {
+        // Two scenarios with identical template seeds must not replay the
+        // same mission: the per-run seed derivation mixes in the scenario
+        // index, so their trajectories (and per-run seeds) differ.
+        let config = CampaignConfig::builder(vec![quick_scenario(5), quick_scenario(5)])
+            .runs_per_scenario(2)
+            .parallelism(1)
+            .build();
+        let result = Campaign::new(config).run();
+        assert_eq!(result.runs().len(), 4);
+        let seeds: std::collections::HashSet<u64> = result.runs().iter().map(|r| r.seed).collect();
+        assert_eq!(seeds.len(), 4, "per-run seeds collided across scenarios");
+        let a = &result.runs()[0]; // scenario 0, run 0
+        let b = &result.runs()[2]; // scenario 1, run 0
+        assert_ne!(a.seed, b.seed);
+        assert_ne!(
+            (a.duration, a.distance_km),
+            (b.duration, b.distance_km),
+            "same-seed scenarios replayed an identical trajectory"
+        );
     }
 
     #[test]

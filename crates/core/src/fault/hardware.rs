@@ -93,9 +93,7 @@ impl BitFaultModel {
     pub fn apply(&self, value: f64) -> f64 {
         match self {
             BitFaultModel::SingleBitFlip { bit } => flip_bit(value, *bit),
-            BitFaultModel::MultiBitFlip { bits } => {
-                bits.iter().fold(value, |v, b| flip_bit(v, *b))
-            }
+            BitFaultModel::MultiBitFlip { bits } => bits.iter().fold(value, |v, b| flip_bit(v, *b)),
             BitFaultModel::StuckAt { value } => *value,
         }
     }
@@ -260,7 +258,7 @@ mod tests {
         let mut rng = stream_rng(9, 0);
         let bits: Vec<u8> = (0..200).map(|_| sample_bit(&mut rng)).collect();
         assert!(bits.iter().all(|b| *b < 64));
-        assert!(bits.iter().any(|b| *b == 63), "no sign flips sampled");
+        assert!(bits.contains(&63), "no sign flips sampled");
         assert!(bits.iter().any(|b| *b < 52), "no mantissa flips sampled");
     }
 

@@ -135,10 +135,7 @@ impl ImageFault {
             }
             ImageFault::WaterDrop { .. } => {
                 for &(cx, cy, r) in &layout.drops {
-                    let center = image.pixel(
-                        (cx as usize).min(w - 1),
-                        (cy as usize).min(h - 1),
-                    );
+                    let center = image.pixel((cx as usize).min(w - 1), (cy as usize).min(h - 1));
                     let bright = [
                         (center[0] + 0.15).min(1.0),
                         (center[1] + 0.15).min(1.0),
@@ -178,8 +175,16 @@ impl ImageFaultLayout {
                 let side = (frac * width.min(height) as f64).round() as i64;
                 let max_x = (width as i64 - side).max(0);
                 let max_y = (height as i64 - side).max(0);
-                let x0 = if max_x > 0 { rng.random_range(0..=max_x) } else { 0 };
-                let y0 = if max_y > 0 { rng.random_range(0..=max_y) } else { 0 };
+                let x0 = if max_x > 0 {
+                    rng.random_range(0..=max_x)
+                } else {
+                    0
+                };
+                let y0 = if max_y > 0 {
+                    rng.random_range(0..=max_y)
+                } else {
+                    0
+                };
                 layout.rect = (x0, y0, x0 + side, y0 + side);
             }
             ImageFault::WaterDrop { drops, radius_frac } => {
@@ -351,7 +356,10 @@ mod tests {
         let layout = ImageFaultLayout::default();
         fault.apply(&mut img, &layout, &mut stream_rng(1, 0));
         let after = img.mean_luma();
-        assert!((after - before).abs() < 0.03, "mean moved {before} -> {after}");
+        assert!(
+            (after - before).abs() < 0.03,
+            "mean moved {before} -> {after}"
+        );
         assert_ne!(img, test_image());
     }
 
@@ -359,7 +367,11 @@ mod tests {
     fn salt_pepper_rate() {
         let mut img = Image::filled(100, 100, [0.5, 0.5, 0.5]);
         let fault = ImageFault::salt_pepper(0.1);
-        fault.apply(&mut img, &ImageFaultLayout::default(), &mut stream_rng(2, 0));
+        fault.apply(
+            &mut img,
+            &ImageFaultLayout::default(),
+            &mut stream_rng(2, 0),
+        );
         let corrupted = (0..100 * 100)
             .filter(|i| {
                 let p = img.pixel(i % 100, i / 100);
@@ -377,11 +389,7 @@ mod tests {
         let mut rng = stream_rng(3, 0);
         let layout = ImageFaultLayout::sample(&fault, img.width(), img.height(), &mut rng);
         fault.apply(&mut img, &layout, &mut rng);
-        let dark = img
-            .data()
-            .chunks_exact(3)
-            .filter(|p| p[0] < 0.05)
-            .count();
+        let dark = img.data().chunks_exact(3).filter(|p| p[0] < 0.05).count();
         // Patch is 24x24 of 64x48 = 576 of 3072 pixels.
         assert!(dark >= 570, "dark pixels = {dark}");
     }
@@ -439,7 +447,10 @@ mod tests {
         let mut ranges = vec![10.0; 1000];
         LidarFault::BeamDropout { p: 0.3 }.apply(&mut ranges, 50.0, &mut stream_rng(7, 0));
         let dropped = ranges.iter().filter(|r| **r == 50.0).count();
-        assert!((dropped as f64 / 1000.0 - 0.3).abs() < 0.05, "dropped={dropped}");
+        assert!(
+            (dropped as f64 / 1000.0 - 0.3).abs() < 0.05,
+            "dropped={dropped}"
+        );
     }
 
     #[test]
@@ -454,9 +465,13 @@ mod tests {
     #[test]
     fn lidar_ghosts_insert_close_returns() {
         let mut ranges = vec![50.0; 36];
-        LidarFault::Ghost { count: 5, range: 3.0 }.apply(&mut ranges, 50.0, &mut stream_rng(9, 0));
+        LidarFault::Ghost {
+            count: 5,
+            range: 3.0,
+        }
+        .apply(&mut ranges, 50.0, &mut stream_rng(9, 0));
         let ghosts = ranges.iter().filter(|r| **r == 3.0).count();
-        assert!(ghosts >= 1 && ghosts <= 5, "ghosts={ghosts}");
+        assert!((1..=5).contains(&ghosts), "ghosts={ghosts}");
     }
 
     #[test]

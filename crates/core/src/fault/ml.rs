@@ -177,7 +177,7 @@ mod tests {
                     .count()
             })
             .sum();
-        assert!(changed >= 1 && changed <= 5, "changed={changed}");
+        assert!((1..=5).contains(&changed), "changed={changed}");
     }
 
     #[test]

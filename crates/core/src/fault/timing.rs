@@ -105,10 +105,7 @@ impl TimingChannel {
                     return self.last_delivered;
                 }
                 let idx = rng.random_range(0..self.queue.len());
-                let out = self
-                    .queue
-                    .remove(idx)
-                    .expect("index in range");
+                let out = self.queue.remove(idx).expect("index in range");
                 self.last_delivered = out;
                 out
             }

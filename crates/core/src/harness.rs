@@ -13,6 +13,7 @@ use avfi_agent::controller::{Driver, DriverInput};
 use avfi_agent::{ExpertDriver, IlNetwork, NeuralDriver};
 use avfi_sim::physics::VehicleControl;
 use avfi_sim::rng::stream_rng;
+use avfi_sim::sensors::{Image, LidarScan};
 use avfi_sim::world::{World, WorldObservation};
 use avfi_sim::FRAME_DT;
 use rand::rngs::StdRng;
@@ -40,6 +41,12 @@ pub struct AvDriver {
     timing: Option<TimingChannel>,
     image_layout: Option<ImageFaultLayout>,
     injected_at_frame: Option<u64>,
+    /// Reused buffer for the fault-injected camera image, so the hot path
+    /// never clones the observation (allocation-free after the first
+    /// injected frame).
+    scratch_image: Option<Image>,
+    /// Reused buffer for the fault-injected LIDAR sweep.
+    scratch_lidar: Option<LidarScan>,
 }
 
 impl AvDriver {
@@ -68,18 +75,18 @@ impl AvDriver {
             FaultSpec::Timing(f) => Some(TimingChannel::new(f.clone())),
             _ => None,
         };
-        let injected_at_frame = match &spec {
-            // Timing faults act on the whole run.
-            FaultSpec::Timing(_) => Some(0),
-            _ => None,
-        };
         AvDriver {
             inner,
             spec,
             rng: stream_rng(seed, 0xFB),
             timing,
             image_layout: None,
-            injected_at_frame,
+            // Timing faults are marked lazily, the first time the channel
+            // actually perturbs the command stream — a no-op channel (e.g.
+            // a zero-frame delay) must not report an injection time.
+            injected_at_frame: None,
+            scratch_image: None,
+            scratch_lidar: None,
         }
     }
 
@@ -102,94 +109,110 @@ impl AvDriver {
         self.injected_at_frame.map(|f| f as f64 * FRAME_DT)
     }
 
-    fn mark_injected(&mut self, frame: u64) {
-        if self.injected_at_frame.is_none() {
-            self.injected_at_frame = Some(frame);
-        }
-    }
-
     /// Computes the control for one frame, with fault injection.
     pub fn drive_frame(&mut self, obs: &WorldObservation, world: &World) -> VehicleControl {
         let frame = obs.sensors.frame;
-        // Small enum; cloning sidesteps a simultaneous &self.spec /
-        // &mut self borrow in the match arms below.
-        let spec = self.spec.clone();
+        // Destructure so the match arms below can hold `spec` borrowed
+        // while mutating the RNG and scratch buffers (disjoint fields) —
+        // this is what lets the hot path drop the per-frame spec clone.
+        let AvDriver {
+            inner,
+            spec,
+            rng,
+            timing,
+            image_layout,
+            injected_at_frame,
+            scratch_image,
+            scratch_lidar,
+        } = self;
+        fn mark(slot: &mut Option<u64>, frame: u64) {
+            if slot.is_none() {
+                *slot = Some(frame);
+            }
+        }
 
-        // --- Input FI and sensor-path Hardware FI: corrupt the
-        // observation the agent sees.
-        let mut corrupted: Option<WorldObservation> = None;
-        match &spec {
-            FaultSpec::Input(f) => {
-                if f.trigger.is_active(frame, &mut self.rng) {
-                    self.mark_injected(frame);
-                    let mut obs2 = obs.clone();
-                    let layout = self.image_layout.get_or_insert_with(|| {
-                        ImageFaultLayout::sample(
-                            &f.model,
-                            obs.sensors.image.width(),
-                            obs.sensors.image.height(),
-                            &mut self.rng,
-                        )
-                    });
-                    f.model.apply(&mut obs2.sensors.image, layout, &mut self.rng);
-                    if let Some(g) = &f.gps {
-                        let p = &mut obs2.sensors.gps.position;
-                        p.x += g.bias_x + avfi_sim::rng::normal(&mut self.rng, 0.0, g.sigma);
-                        p.y += g.bias_y + avfi_sim::rng::normal(&mut self.rng, 0.0, g.sigma);
+        // --- Input FI and sensor-path Hardware FI: corrupt the sensor
+        // channels the agent sees. Only the channels a fault touches are
+        // copied (into reused scratch buffers); scalar-only faults copy
+        // nothing.
+        let mut input = DriverInput::clean(obs, world);
+        match &*spec {
+            FaultSpec::Input(f) if f.trigger.is_active(frame, rng) => {
+                mark(injected_at_frame, frame);
+                let img = match scratch_image {
+                    Some(img) => {
+                        img.copy_from(&obs.sensors.image);
+                        img
                     }
-                    if let Some(s) = &f.speed {
-                        obs2.sensors.speed = match s {
-                            crate::fault::input::SpeedFault::Scale(k) => obs2.sensors.speed * k,
-                            crate::fault::input::SpeedFault::StuckAt(v) => *v,
-                        };
-                    }
-                    if let Some(l) = &f.lidar {
-                        let max = obs2.sensors.lidar.max_range;
-                        l.apply(&mut obs2.sensors.lidar.ranges, max, &mut self.rng);
-                    }
-                    corrupted = Some(obs2);
+                    None => scratch_image.insert(obs.sensors.image.clone()),
+                };
+                let layout = image_layout.get_or_insert_with(|| {
+                    ImageFaultLayout::sample(&f.model, img.width(), img.height(), rng)
+                });
+                f.model.apply(img, layout, rng);
+                input.image = img;
+                if let Some(g) = &f.gps {
+                    let p = &mut input.gps.position;
+                    p.x += g.bias_x + avfi_sim::rng::normal(rng, 0.0, g.sigma);
+                    p.y += g.bias_y + avfi_sim::rng::normal(rng, 0.0, g.sigma);
+                }
+                if let Some(s) = &f.speed {
+                    input.speed = match s {
+                        crate::fault::input::SpeedFault::Scale(k) => input.speed * k,
+                        crate::fault::input::SpeedFault::StuckAt(v) => *v,
+                    };
+                }
+                if let Some(l) = &f.lidar {
+                    let scan = match scratch_lidar {
+                        Some(scan) => {
+                            scan.ranges.clone_from(&obs.sensors.lidar.ranges);
+                            scan.fov_deg = obs.sensors.lidar.fov_deg;
+                            scan.max_range = obs.sensors.lidar.max_range;
+                            scan
+                        }
+                        None => scratch_lidar.insert(obs.sensors.lidar.clone()),
+                    };
+                    l.apply(&mut scan.ranges, scan.max_range, rng);
+                    input.lidar = scan;
                 }
             }
-            FaultSpec::Hardware(f) if !f.target.is_control() => {
-                if f.trigger.is_active(frame, &mut self.rng) {
-                    self.mark_injected(frame);
-                    let mut obs2 = obs.clone();
-                    let mut speed = obs2.sensors.speed;
-                    let mut gx = obs2.sensors.gps.position.x;
-                    let mut gy = obs2.sensors.gps.position.y;
-                    f.corrupt_sensors(&mut speed, &mut gx, &mut gy);
-                    obs2.sensors.speed = if speed.is_finite() { speed } else { 0.0 };
-                    obs2.sensors.gps.position.x = gx;
-                    obs2.sensors.gps.position.y = gy;
-                    corrupted = Some(obs2);
-                }
+            FaultSpec::Hardware(f) if !f.target.is_control() && f.trigger.is_active(frame, rng) => {
+                mark(injected_at_frame, frame);
+                let mut speed = input.speed;
+                let mut gx = input.gps.position.x;
+                let mut gy = input.gps.position.y;
+                f.corrupt_sensors(&mut speed, &mut gx, &mut gy);
+                input.speed = if speed.is_finite() { speed } else { 0.0 };
+                input.gps.position.x = gx;
+                input.gps.position.y = gy;
             }
             _ => {}
         }
-        let effective_obs = corrupted.as_ref().unwrap_or(obs);
 
         // --- The ADA computes its decision.
-        let input = DriverInput {
-            obs: effective_obs,
-            world,
-        };
-        let mut control = match &mut self.inner {
+        let mut control = match inner {
             Inner::Expert(e) => e.drive(&input),
             Inner::Neural(n) => n.drive(&input),
         };
 
         // --- Output FI: command-path hardware faults.
-        if let FaultSpec::Hardware(f) = &spec {
-            if f.target.is_control() && f.trigger.is_active(frame, &mut self.rng) {
-                self.mark_injected(frame);
+        if let FaultSpec::Hardware(f) = &*spec {
+            if f.target.is_control() && f.trigger.is_active(frame, rng) {
+                mark(injected_at_frame, frame);
                 control = f.corrupt_control(control);
             }
         }
 
         // --- Timing FI: the actuation sees a delayed/dropped/reordered
-        // command stream.
-        if let Some(ch) = &mut self.timing {
-            control = ch.transfer(control, &mut self.rng);
+        // command stream. Injection is only recorded when the channel
+        // actually changes the command — a transparent channel (zero-frame
+        // delay) never perturbs the run.
+        if let Some(ch) = timing {
+            let requested = control;
+            control = ch.transfer(control, rng);
+            if control != requested {
+                mark(injected_at_frame, frame);
+            }
         }
 
         control
@@ -330,8 +353,7 @@ mod tests {
             FaultSpec::None,
             6,
         );
-        let mut faulty =
-            AvDriver::neural(IlNetwork::from_weights(&weights).unwrap(), spec, 6);
+        let mut faulty = AvDriver::neural(IlNetwork::from_weights(&weights).unwrap(), spec, 6);
         assert_eq!(faulty.injection_time(), Some(0.0));
         let a = clean.drive_frame(&obs, &w);
         let b = faulty.drive_frame(&obs, &w);

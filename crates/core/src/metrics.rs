@@ -165,14 +165,24 @@ mod tests {
 
     #[test]
     fn vpk_guard_against_zero_distance() {
-        let r = run(false, 0.0, vec![violation(ViolationKind::OffRoad, 1.0)], None);
+        let r = run(
+            false,
+            0.0,
+            vec![violation(ViolationKind::OffRoad, 1.0)],
+            None,
+        );
         assert!(violations_per_km(&r) <= 1.0 / MIN_KM);
     }
 
     #[test]
     fn aggregate_pools_distance() {
         let runs = vec![
-            run(true, 1.0, vec![violation(ViolationKind::Speeding, 1.0)], None),
+            run(
+                true,
+                1.0,
+                vec![violation(ViolationKind::Speeding, 1.0)],
+                None,
+            ),
             run(true, 3.0, vec![], None),
         ];
         assert_eq!(aggregate_vpk(&runs), 0.25);
@@ -196,7 +206,12 @@ mod tests {
 
     #[test]
     fn ttv_none_cases() {
-        let no_inj = run(true, 1.0, vec![violation(ViolationKind::OffRoad, 1.0)], None);
+        let no_inj = run(
+            true,
+            1.0,
+            vec![violation(ViolationKind::OffRoad, 1.0)],
+            None,
+        );
         assert_eq!(time_to_violation(&no_inj), None);
         let no_viol = run(true, 1.0, vec![], Some(3.0));
         assert_eq!(time_to_violation(&no_viol), None);

@@ -146,7 +146,9 @@ pub fn to_csv(results: &[&CampaignResult]) -> String {
                 r.distance_km,
                 r.violations.len(),
                 accidents,
-                r.injection_time.map(|t| format!("{t:.2}")).unwrap_or_default(),
+                r.injection_time
+                    .map(|t| format!("{t:.2}"))
+                    .unwrap_or_default(),
             );
         }
     }

@@ -21,6 +21,22 @@ pub trait Transport {
     /// codec error for socket transports.
     fn send(&mut self, msg: Message) -> Result<(), NetError>;
 
+    /// Sends one message and hands it back when the transport merely
+    /// serialized it (socket transports) rather than transferring ownership
+    /// (channel transports). Hot loops use the returned message to reuse
+    /// large payload buffers (e.g. observation frames) across cycles.
+    ///
+    /// The default implementation forwards to [`Transport::send`] and
+    /// returns `None`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Transport::send`].
+    fn send_reclaim(&mut self, msg: Message) -> Result<Option<Message>, NetError> {
+        self.send(msg)?;
+        Ok(None)
+    }
+
     /// Receives the next message, blocking until one arrives.
     ///
     /// # Errors
@@ -65,6 +81,7 @@ impl Transport for InProcTransport {
 pub struct TcpTransport {
     stream: TcpStream,
     inbox: BytesMut,
+    outbox: BytesMut,
 }
 
 impl TcpTransport {
@@ -79,6 +96,7 @@ impl TcpTransport {
         Ok(TcpTransport {
             stream,
             inbox: BytesMut::with_capacity(64 * 1024),
+            outbox: BytesMut::with_capacity(64 * 1024),
         })
     }
 
@@ -88,16 +106,20 @@ impl TcpTransport {
     ///
     /// Propagates connection failures.
     pub fn connect(addr: &str) -> Result<Self, NetError> {
-        Ok(Self::new(TcpStream::connect(addr)?)?)
+        Self::new(TcpStream::connect(addr)?)
     }
 }
 
 impl Transport for TcpTransport {
     fn send(&mut self, msg: Message) -> Result<(), NetError> {
-        let mut buf = BytesMut::new();
-        codec::encode(&msg, &mut buf)?;
-        self.stream.write_all(&buf)?;
-        Ok(())
+        self.send_reclaim(msg).map(|_| ())
+    }
+
+    fn send_reclaim(&mut self, msg: Message) -> Result<Option<Message>, NetError> {
+        self.outbox.clear();
+        codec::encode(&msg, &mut self.outbox)?;
+        self.stream.write_all(&self.outbox)?;
+        Ok(Some(msg))
     }
 
     fn recv(&mut self) -> Result<Message, NetError> {

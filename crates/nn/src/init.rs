@@ -9,7 +9,12 @@ fn uniform<R: Rng + ?Sized>(rng: &mut R, limit: f32) -> f32 {
 
 /// Xavier/Glorot uniform initialization for a weight matrix with the given
 /// fan-in and fan-out. Appropriate before `tanh` activations.
-pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize, out: &mut [f32]) {
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    fan_in: usize,
+    fan_out: usize,
+    out: &mut [f32],
+) {
     let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
     for w in out {
         *w = uniform(rng, limit);

@@ -210,7 +210,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
         let x = Tensor::from_vec(
-            (0..2 * 5 * 4).map(|v| ((v % 7) as f32 - 3.0) * 0.2).collect(),
+            (0..2 * 5 * 4)
+                .map(|v| ((v % 7) as f32 - 3.0) * 0.2)
+                .collect(),
             vec![2, 5, 4],
         );
         check_input_gradient(&mut conv, &x, 2e-2);

@@ -61,13 +61,13 @@ impl Layer for Dense {
         );
         let x = input.data();
         let mut y = vec![0.0f32; self.out_dim];
-        for o in 0..self.out_dim {
+        for (o, yo) in y.iter_mut().enumerate() {
             let row = &self.weight[o * self.in_dim..(o + 1) * self.in_dim];
             let mut acc = self.bias[o];
             for (w, xi) in row.iter().zip(x) {
                 acc += w * xi;
             }
-            y[o] = acc;
+            *yo = acc;
         }
         self.cached_input = Some(input.clone());
         Tensor::from_vec(y, vec![self.out_dim])
@@ -82,8 +82,7 @@ impl Layer for Dense {
         let gy = grad_out.data();
         assert_eq!(gy.len(), self.out_dim);
         let mut gx = vec![0.0f32; self.in_dim];
-        for o in 0..self.out_dim {
-            let g = gy[o];
+        for (o, &g) in gy.iter().enumerate() {
             self.grad_bias[o] += g;
             let row_w = &self.weight[o * self.in_dim..(o + 1) * self.in_dim];
             let row_gw = &mut self.grad_weight[o * self.in_dim..(o + 1) * self.in_dim];

@@ -100,7 +100,10 @@ mod tests {
         let zeros = y.data().iter().filter(|v| **v == 0.0).count();
         assert!(zeros > 350 && zeros < 650, "zeros={zeros}");
         // Survivors are scaled by 2.
-        assert!(y.data().iter().all(|v| *v == 0.0 || (*v - 2.0).abs() < 1e-6));
+        assert!(y
+            .data()
+            .iter()
+            .all(|v| *v == 0.0 || (*v - 2.0).abs() < 1e-6));
         // Expected value preserved approximately.
         assert!((y.mean() - 1.0).abs() < 0.15, "mean={}", y.mean());
     }

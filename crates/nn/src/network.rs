@@ -266,7 +266,12 @@ mod tests {
         let names: Vec<String> = net.params().iter().map(|p| p.name.clone()).collect();
         assert_eq!(
             names,
-            vec!["dense0.weight", "dense0.bias", "dense2.weight", "dense2.bias"]
+            vec![
+                "dense0.weight",
+                "dense0.bias",
+                "dense2.weight",
+                "dense2.bias"
+            ]
         );
         assert_eq!(net.param_count(), 2 * 8 + 8 + 8 + 1);
     }

@@ -56,9 +56,9 @@ impl Optimizer for Sgd {
         }
         for (p, vel) in params.iter_mut().zip(&mut self.velocity) {
             debug_assert_eq!(p.values.len(), vel.len(), "parameter shape changed");
-            for i in 0..p.values.len() {
-                vel[i] = self.momentum * vel[i] - self.lr * p.grads[i];
-                p.values[i] += vel[i];
+            for (i, v) in vel.iter_mut().enumerate() {
+                *v = self.momentum * *v - self.lr * p.grads[i];
+                p.values[i] += *v;
                 p.grads[i] = 0.0;
             }
         }

@@ -37,7 +37,12 @@ impl Tensor {
     /// Panics if `data.len()` does not match the shape's element count.
     pub fn from_vec(data: Vec<f32>, shape: Vec<usize>) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(data.len(), n, "data length {} != shape product {n}", data.len());
+        assert_eq!(
+            data.len(),
+            n,
+            "data length {} != shape product {n}",
+            data.len()
+        );
         Tensor { shape, data }
     }
 

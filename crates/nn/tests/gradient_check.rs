@@ -58,7 +58,10 @@ fn full_network_input_gradient_matches_finite_difference() {
 #[test]
 fn full_network_weight_gradients_match_finite_difference() {
     let mut net = small_cnn(3);
-    let x = Tensor::from_vec((0..64).map(|i| ((i % 9) as f32 - 4.0) * 0.1).collect(), vec![1, 8, 8]);
+    let x = Tensor::from_vec(
+        (0..64).map(|i| ((i % 9) as f32 - 4.0) * 0.1).collect(),
+        vec![1, 8, 8],
+    );
     let target = Tensor::from_vec(vec![-0.3], vec![1]);
 
     // Analytic gradients.
@@ -69,7 +72,13 @@ fn full_network_weight_gradients_match_finite_difference() {
         let params = net.params();
         params
             .iter()
-            .map(|p| (p.name.clone(), p.values.len() / 2, p.grads[p.values.len() / 2]))
+            .map(|p| {
+                (
+                    p.name.clone(),
+                    p.values.len() / 2,
+                    p.grads[p.values.len() / 2],
+                )
+            })
             .collect()
     };
     // Zero the grads again (optimizer would) by stepping a no-op clone of
@@ -148,7 +157,12 @@ fn dropout_training_still_converges() {
     net.push(Dense::new(16, 1, &mut rng));
     let mut opt = Adam::new(1e-2);
     for _ in 0..600 {
-        for (x, t) in [([0.0f32, 0.0], 0.0f32), ([1.0, 0.0], 1.0), ([0.0, 1.0], 1.0), ([1.0, 1.0], 0.0)] {
+        for (x, t) in [
+            ([0.0f32, 0.0], 0.0f32),
+            ([1.0, 0.0], 1.0),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ] {
             let out = net.forward(&Tensor::from_vec(x.to_vec(), vec![2]), true);
             let (_, g) = mse(&out, &Tensor::from_vec(vec![t], vec![1]));
             net.backward(&g);
@@ -157,7 +171,8 @@ fn dropout_training_still_converges() {
     }
     // Inference is deterministic (dropout off) and roughly solves XOR.
     let eval = |net: &mut Sequential, x: [f32; 2]| {
-        net.forward(&Tensor::from_vec(x.to_vec(), vec![2]), false).data()[0]
+        net.forward(&Tensor::from_vec(x.to_vec(), vec![2]), false)
+            .data()[0]
     };
     let a = eval(&mut net, [1.0, 0.0]);
     let b = eval(&mut net, [1.0, 0.0]);

@@ -25,7 +25,9 @@ pub fn spawn_npc_vehicles(
     let mut attempts = 0;
     while out.len() < count && attempts < count * 50 {
         attempts += 1;
-        let Some(&lane) = drive.choose(rng) else { break };
+        let Some(&lane) = drive.choose(rng) else {
+            break;
+        };
         let len = map.lane(lane).length();
         let s = rng.random_range(5.0..len - 5.0);
         let pos = map.lane(lane).point_at(s);
@@ -61,7 +63,11 @@ pub fn spawn_pedestrians(
     for _ in 0..count {
         let axis = &axes[rng.random_range(0..axes.len())];
         let dir = axis.axis.direction();
-        let side = if rng.random_range(0.0..1.0) < 0.5 { 1.0 } else { -1.0 };
+        let side = if rng.random_range(0.0..1.0) < 0.5 {
+            1.0
+        } else {
+            -1.0
+        };
         let offset = dir.perp() * side * (axis.half_road + axis.sidewalk * 0.5);
         let home = Segment::new(axis.axis.a + offset, axis.axis.b + offset);
         let cross_dir = -dir.perp() * side;

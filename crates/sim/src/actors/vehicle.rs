@@ -123,8 +123,9 @@ impl NpcVehicle {
         if let Some((gap, v_lead)) = leader {
             let gap = gap.max(0.1);
             let dv = v - v_lead;
-            let s_star =
-                IDM_MIN_GAP + v * IDM_TIME_HEADWAY + v * dv / (2.0 * (IDM_ACCEL * IDM_DECEL).sqrt());
+            let s_star = IDM_MIN_GAP
+                + v * IDM_TIME_HEADWAY
+                + v * dv / (2.0 * (IDM_ACCEL * IDM_DECEL).sqrt());
             accel -= IDM_ACCEL * (s_star.max(0.0) / gap).powi(2);
         }
         self.speed = (v + accel * dt).clamp(0.0, v0.max(v));

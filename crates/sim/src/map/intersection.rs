@@ -243,18 +243,36 @@ mod tests {
     fn light_cycles_through_states() {
         let i = isect(true);
         // t=0: NS green, EW red.
-        assert_eq!(i.light_state(SignalGroup::NorthSouth, 0.0), LightState::Green);
+        assert_eq!(
+            i.light_state(SignalGroup::NorthSouth, 0.0),
+            LightState::Green
+        );
         assert_eq!(i.light_state(SignalGroup::EastWest, 0.0), LightState::Red);
         // After green: NS yellow.
-        assert_eq!(i.light_state(SignalGroup::NorthSouth, 8.5), LightState::Yellow);
+        assert_eq!(
+            i.light_state(SignalGroup::NorthSouth, 8.5),
+            LightState::Yellow
+        );
         // All red clearance.
-        assert_eq!(i.light_state(SignalGroup::NorthSouth, 10.5), LightState::Red);
+        assert_eq!(
+            i.light_state(SignalGroup::NorthSouth, 10.5),
+            LightState::Red
+        );
         assert_eq!(i.light_state(SignalGroup::EastWest, 10.5), LightState::Red);
         // Second half: EW green.
-        assert_eq!(i.light_state(SignalGroup::EastWest, 11.5), LightState::Green);
-        assert_eq!(i.light_state(SignalGroup::NorthSouth, 11.5), LightState::Red);
+        assert_eq!(
+            i.light_state(SignalGroup::EastWest, 11.5),
+            LightState::Green
+        );
+        assert_eq!(
+            i.light_state(SignalGroup::NorthSouth, 11.5),
+            LightState::Red
+        );
         // Wraps around after a full cycle (22 s).
-        assert_eq!(i.light_state(SignalGroup::NorthSouth, 22.5), LightState::Green);
+        assert_eq!(
+            i.light_state(SignalGroup::NorthSouth, 22.5),
+            LightState::Green
+        );
     }
 
     #[test]

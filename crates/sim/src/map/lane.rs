@@ -234,7 +234,11 @@ mod tests {
         Lane::new(
             LaneId(0),
             LaneKind::Drive,
-            vec![Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0), Vec2::new(20.0, 0.0)],
+            vec![
+                Vec2::new(0.0, 0.0),
+                Vec2::new(10.0, 0.0),
+                Vec2::new(20.0, 0.0),
+            ],
             3.5,
             10.0,
             None,
@@ -282,7 +286,11 @@ mod tests {
         let l = Lane::new(
             LaneId(1),
             LaneKind::Connector,
-            vec![Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0), Vec2::new(10.0, 10.0)],
+            vec![
+                Vec2::new(0.0, 0.0),
+                Vec2::new(10.0, 0.0),
+                Vec2::new(10.0, 10.0),
+            ],
             3.5,
             5.0,
             Some(TurnKind::Left),
@@ -295,6 +303,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two points")]
     fn rejects_single_point() {
-        let _ = Lane::new(LaneId(0), LaneKind::Drive, vec![Vec2::ZERO], 3.5, 10.0, None);
+        let _ = Lane::new(
+            LaneId(0),
+            LaneKind::Drive,
+            vec![Vec2::ZERO],
+            3.5,
+            10.0,
+            None,
+        );
     }
 }

@@ -2,15 +2,13 @@
 //! queries (nearest lane, drivable-area tests, ground materials for the
 //! camera rasterizer).
 
-mod lane;
 mod intersection;
+mod lane;
 pub mod presets;
 pub mod route;
 pub mod town;
 
-pub use intersection::{
-    Intersection, IntersectionId, LightState, SignalGroup, SignalTiming,
-};
+pub use intersection::{Intersection, IntersectionId, LightState, SignalGroup, SignalTiming};
 pub use lane::{Lane, LaneId, LaneKind, LaneProjection, TurnKind};
 
 use crate::math::{Aabb, Segment, Vec2};
@@ -83,6 +81,7 @@ pub struct Map {
     buildings: Vec<Aabb>,
     bounds: Aabb,
     grid: SpatialGrid,
+    materials: MaterialGrid,
 }
 
 impl Map {
@@ -110,10 +109,7 @@ impl Map {
         let mut predecessors = vec![Vec::new(); lanes.len()];
         for (i, succs) in successors.iter().enumerate() {
             for s in succs {
-                assert!(
-                    (s.0 as usize) < lanes.len(),
-                    "successor {s} out of range"
-                );
+                assert!((s.0 as usize) < lanes.len(), "successor {s} out of range");
                 predecessors[s.0 as usize].push(LaneId(i as u32));
             }
         }
@@ -150,6 +146,7 @@ impl Map {
             .unwrap_or(Aabb::new(Vec2::ZERO, Vec2::new(1.0, 1.0)))
             .inflated(20.0);
         let grid = SpatialGrid::build(&bounds, &lanes, &road_axes, &buildings, &intersections);
+        let materials = MaterialGrid::build(&grid, &road_axes, &buildings, &intersections);
         Map {
             lanes,
             successors,
@@ -161,6 +158,7 @@ impl Map {
             buildings,
             bounds,
             grid,
+            materials,
         }
     }
 
@@ -335,44 +333,257 @@ impl Map {
     }
 
     /// Ground material at a world point (used by the camera).
+    ///
+    /// This is the camera's per-pixel inner loop, so it goes through
+    /// [`MaterialGrid`]: one cell lookup pulls contiguous copies of exactly
+    /// the geometry that can decide the material near that point.
+    #[inline]
     pub fn material_at(&self, p: Vec2) -> Material {
-        if self.in_building(p) {
+        self.materials.material_at(p)
+    }
+
+    /// A reusable cursor for spatially coherent [`Map::material_at`] query
+    /// streams (the camera's ground pass): queries landing in the cell of
+    /// the previous query skip cell resolution entirely.
+    pub fn material_cursor(&self) -> MaterialCursor<'_> {
+        MaterialCursor {
+            grid: &self.materials,
+            x0: f64::INFINITY,
+            x1: f64::NEG_INFINITY,
+            y0: f64::INFINITY,
+            y1: f64::NEG_INFINITY,
+            buildings: &[],
+            isect_areas: &[],
+            axes: &[],
+        }
+    }
+}
+
+/// See [`Map::material_cursor`].
+#[derive(Debug)]
+pub struct MaterialCursor<'a> {
+    grid: &'a MaterialGrid,
+    /// World bounds of the cached cell (an empty interval when nothing is
+    /// cached yet, so the first query always resolves).
+    x0: f64,
+    x1: f64,
+    y0: f64,
+    y1: f64,
+    buildings: &'a [Aabb],
+    isect_areas: &'a [Aabb],
+    axes: &'a [MatAxis],
+}
+
+impl MaterialCursor<'_> {
+    /// Ground material at `p`; equivalent to [`Map::material_at`].
+    #[inline]
+    pub fn material_at(&mut self, p: Vec2) -> Material {
+        if !(p.x >= self.x0 && p.x < self.x1 && p.y >= self.y0 && p.y < self.y1) {
+            let g = self.grid;
+            let fx = (p.x - g.origin.x) * g.inv_cell;
+            let fy = (p.y - g.origin.y) * g.inv_cell;
+            if fx < 0.0 || fy < 0.0 {
+                return Material::Grass;
+            }
+            let (ix, iy) = (fx as usize, fy as usize);
+            if ix >= g.nx || iy >= g.ny {
+                return Material::Grass;
+            }
+            let cell = g.cells[iy * g.nx + ix];
+            self.x0 = g.origin.x + ix as f64 * g.cell;
+            self.x1 = self.x0 + g.cell;
+            self.y0 = g.origin.y + iy as f64 * g.cell;
+            self.y1 = self.y0 + g.cell;
+            self.buildings = &g.buildings[cell.b0 as usize..cell.b1 as usize];
+            self.isect_areas = &g.isect_areas[cell.i0 as usize..cell.i1 as usize];
+            self.axes = &g.axes[cell.a0 as usize..cell.a1 as usize];
+        }
+        classify(self.buildings, self.isect_areas, self.axes, p)
+    }
+}
+
+/// Flattened per-cell index for [`Map::material_at`].
+///
+/// The general [`SpatialGrid`] stores per-cell `Vec`s of indices into the
+/// map's geometry arrays, which costs two dependent loads per candidate.
+/// The camera samples the ground material for every pixel of every frame,
+/// so this index re-packs the same per-cell candidate lists (same order,
+/// same membership) into contiguous record arrays with the geometry copied
+/// inline, and compares squared distances so only the nearest axis pays a
+/// square root.
+#[derive(Debug, Clone)]
+struct MaterialGrid {
+    origin: Vec2,
+    cell: f64,
+    inv_cell: f64,
+    nx: usize,
+    ny: usize,
+    cells: Vec<MatCell>,
+    buildings: Vec<Aabb>,
+    isect_areas: Vec<Aabb>,
+    axes: Vec<MatAxis>,
+}
+
+/// Per-cell `[start, end)` ranges into the [`MaterialGrid`] record arrays.
+#[derive(Debug, Clone, Copy)]
+struct MatCell {
+    b0: u32,
+    b1: u32,
+    i0: u32,
+    i1: u32,
+    a0: u32,
+    a1: u32,
+}
+
+/// One road axis, pre-digested for point classification: the segment is
+/// stored as origin + direction with the inverse squared length baked in,
+/// so the per-pixel closest-point query needs no division and no
+/// degenerate-segment branch.
+#[derive(Debug, Clone, Copy)]
+struct MatAxis {
+    a: Vec2,
+    /// `b - a`.
+    d: Vec2,
+    /// `1 / |d|²`, or 0 for degenerate segments (forces `t = 0`).
+    inv_len2: f64,
+    /// `half_road²`: inside the pavement.
+    road_sq: f64,
+    /// `max(half_road - 2·MARK_HALF, 0)²`: at or beyond the edge marking.
+    edge_lo_sq: f64,
+    /// `(half_road + sidewalk)²`: inside the sidewalk band.
+    walk_sq: f64,
+}
+
+/// Half-width of a painted lane marking, meters.
+const MARK_HALF: f64 = 0.15;
+
+impl MatAxis {
+    fn new(axis: &RoadAxis) -> Self {
+        let d = axis.axis.b - axis.axis.a;
+        let len2 = d.norm_sq();
+        let edge_lo = (axis.half_road - 2.0 * MARK_HALF).max(0.0);
+        MatAxis {
+            a: axis.axis.a,
+            d,
+            inv_len2: if len2 < 1e-24 { 0.0 } else { 1.0 / len2 },
+            road_sq: axis.half_road * axis.half_road,
+            edge_lo_sq: edge_lo * edge_lo,
+            walk_sq: (axis.half_road + axis.sidewalk) * (axis.half_road + axis.sidewalk),
+        }
+    }
+
+    /// Squared distance from `p` to the axis segment.
+    #[inline]
+    fn distance_sq(&self, p: Vec2) -> f64 {
+        let t = ((p - self.a).dot(self.d) * self.inv_len2).clamp(0.0, 1.0);
+        (p - (self.a + self.d * t)).norm_sq()
+    }
+}
+
+impl MaterialGrid {
+    fn build(
+        grid: &SpatialGrid,
+        road_axes: &[RoadAxis],
+        buildings: &[Aabb],
+        intersections: &[Intersection],
+    ) -> Self {
+        let n = grid.nx * grid.ny;
+        let mut mg = MaterialGrid {
+            origin: grid.origin,
+            cell: grid.cell,
+            inv_cell: 1.0 / grid.cell,
+            nx: grid.nx,
+            ny: grid.ny,
+            cells: Vec::with_capacity(n),
+            buildings: Vec::new(),
+            isect_areas: Vec::new(),
+            axes: Vec::new(),
+        };
+        for c in 0..n {
+            let b0 = mg.buildings.len() as u32;
+            mg.buildings
+                .extend(grid.buildings[c].iter().map(|&i| buildings[i]));
+            let i0 = mg.isect_areas.len() as u32;
+            mg.isect_areas.extend(
+                grid.intersections[c]
+                    .iter()
+                    .map(|&i| *intersections[i.0 as usize].area()),
+            );
+            let a0 = mg.axes.len() as u32;
+            mg.axes
+                .extend(grid.axes[c].iter().map(|&i| MatAxis::new(&road_axes[i])));
+            mg.cells.push(MatCell {
+                b0,
+                b1: mg.buildings.len() as u32,
+                i0,
+                i1: mg.isect_areas.len() as u32,
+                a0,
+                a1: mg.axes.len() as u32,
+            });
+        }
+        mg
+    }
+
+    #[inline]
+    fn material_at(&self, p: Vec2) -> Material {
+        let ix = (p.x - self.origin.x) * self.inv_cell;
+        let iy = (p.y - self.origin.y) * self.inv_cell;
+        if ix < 0.0 || iy < 0.0 {
+            return Material::Grass;
+        }
+        let (ix, iy) = (ix as usize, iy as usize);
+        if ix >= self.nx || iy >= self.ny {
+            return Material::Grass;
+        }
+        let cell = self.cells[iy * self.nx + ix];
+        classify(
+            &self.buildings[cell.b0 as usize..cell.b1 as usize],
+            &self.isect_areas[cell.i0 as usize..cell.i1 as usize],
+            &self.axes[cell.a0 as usize..cell.a1 as usize],
+            p,
+        )
+    }
+}
+
+/// Classifies a point against one cell's candidate geometry. Buildings win,
+/// then intersection pavement; otherwise the nearest road axis decides lane
+/// markings. All bands compare against precomputed squared widths, so the
+/// classification is square-root-free.
+#[inline]
+fn classify(buildings: &[Aabb], isect_areas: &[Aabb], axes: &[MatAxis], p: Vec2) -> Material {
+    for b in buildings {
+        if b.contains(p) {
             return Material::Building;
         }
-        if self
-            .grid
-            .intersections_near(p)
-            .any(|i| self.intersections[i.0 as usize].area().contains(p))
-        {
+    }
+    for a in isect_areas {
+        if a.contains(p) {
             return Material::Road;
         }
-        // Nearest road axis decides lane markings.
-        let mut nearest: Option<(f64, &RoadAxis)> = None;
-        for i in self.grid.axes_near(p) {
-            let axis = &self.road_axes[i];
-            let d = axis.axis.distance_to(p);
-            match nearest {
-                Some((bd, _)) if bd <= d => {}
-                _ => nearest = Some((d, axis)),
-            }
-        }
-        if let Some((d, axis)) = nearest {
-            const MARK_HALF: f64 = 0.15;
-            if d <= axis.half_road {
-                if d <= MARK_HALF {
-                    return Material::MarkCenter;
-                }
-                if axis.half_road - d <= 2.0 * MARK_HALF {
-                    return Material::MarkEdge;
-                }
-                return Material::Road;
-            }
-            if d <= axis.half_road + axis.sidewalk {
-                return Material::Sidewalk;
-            }
-        }
-        Material::Grass
     }
+    let mut nearest: Option<(f64, &MatAxis)> = None;
+    for axis in axes {
+        let d_sq = axis.distance_sq(p);
+        match nearest {
+            Some((bd, _)) if bd <= d_sq => {}
+            _ => nearest = Some((d_sq, axis)),
+        }
+    }
+    if let Some((d_sq, axis)) = nearest {
+        if d_sq <= axis.road_sq {
+            if d_sq <= MARK_HALF * MARK_HALF {
+                return Material::MarkCenter;
+            }
+            if d_sq >= axis.edge_lo_sq {
+                return Material::MarkEdge;
+            }
+            return Material::Road;
+        }
+        if d_sq <= axis.walk_sq {
+            return Material::Sidewalk;
+        }
+    }
+    Material::Grass
 }
 
 /// Uniform spatial hash over the map bounds.
@@ -535,7 +746,7 @@ mod tests {
     }
 
     #[test]
-    fn material_on_lane_center_is_road_like(){
+    fn material_on_lane_center_is_road_like() {
         let m = town();
         let mut road_like = 0;
         let mut total = 0;

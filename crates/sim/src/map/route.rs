@@ -30,7 +30,12 @@ pub enum Command {
 
 impl Command {
     /// All commands, in the branch order used by the conditional network.
-    pub const ALL: [Command; 4] = [Command::Follow, Command::Left, Command::Right, Command::Straight];
+    pub const ALL: [Command; 4] = [
+        Command::Follow,
+        Command::Left,
+        Command::Right,
+        Command::Straight,
+    ];
 
     /// Branch index of this command in the conditional network head.
     pub fn index(self) -> usize {
@@ -182,7 +187,7 @@ fn shortest_lane_path(map: &Map, start: LaneId, goal: LaneId) -> Option<Vec<Lane
         let d = dist[&lane];
         for &next in map.successors(lane) {
             let nd = d + map.lane(next).length();
-            if dist.get(&next).map_or(true, |&old| nd < old) {
+            if dist.get(&next).is_none_or(|&old| nd < old) {
                 dist.insert(next, nd);
                 prev.insert(next, lane);
                 heap.push(Node {
@@ -202,7 +207,11 @@ fn densify(map: &Map, lane_seq: &[LaneId], start_s: f64) -> Route {
     let mut s_total = 0.0;
     for (idx, &lid) in lane_seq.iter().enumerate() {
         let lane = map.lane(lid);
-        let from_s = if idx == 0 { start_s.min(lane.length()) } else { 0.0 };
+        let from_s = if idx == 0 {
+            start_s.min(lane.length())
+        } else {
+            0.0
+        };
         let base_cmd = match lane.kind() {
             LaneKind::Connector => lane.turn().map(Command::from).unwrap_or(Command::Follow),
             LaneKind::Drive => Command::Follow,

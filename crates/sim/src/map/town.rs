@@ -115,15 +115,14 @@ impl TownGenerator {
         let mut ports: HashMap<(usize, usize), NodePort> = HashMap::new();
         let mut lane_to_intersection: HashMap<LaneId, IntersectionId> = HashMap::new();
 
-        let node_pos =
-            |i: usize, j: usize| Vec2::new(i as f64 * cfg.block, j as f64 * cfg.block);
+        let node_pos = |i: usize, j: usize| Vec2::new(i as f64 * cfg.block, j as f64 * cfg.block);
 
         let alloc_lane = |lanes: &mut Vec<Lane>,
-                              successors: &mut Vec<Vec<LaneId>>,
-                              kind: LaneKind,
-                              pts: Vec<Vec2>,
-                              limit: f64,
-                              turn: Option<TurnKind>|
+                          successors: &mut Vec<Vec<LaneId>>,
+                          kind: LaneKind,
+                          pts: Vec<Vec2>,
+                          limit: f64,
+                          turn: Option<TurnKind>|
          -> LaneId {
             let id = LaneId(lanes.len() as u32);
             lanes.push(Lane::new(id, kind, pts, cfg.lane_width, limit, turn));

@@ -76,12 +76,7 @@ impl Pose {
 
 impl fmt::Display for Pose {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} @ {:.1}°",
-            self.position,
-            self.heading.to_degrees()
-        )
+        write!(f, "{} @ {:.1}°", self.position, self.heading.to_degrees())
     }
 }
 

@@ -79,7 +79,13 @@ impl Ray {
     /// Distance to the first intersection with an axis-aligned box, if any
     /// (slab method). Returns `0` when the origin is inside.
     pub fn hit_aabb(&self, aabb: &Aabb) -> Option<f64> {
-        let inv = |d: f64| if d.abs() < 1e-12 { f64::INFINITY * d.signum() } else { 1.0 / d };
+        let inv = |d: f64| {
+            if d.abs() < 1e-12 {
+                f64::INFINITY * d.signum()
+            } else {
+                1.0 / d
+            }
+        };
         let (ix, iy) = (inv(self.direction.x), inv(self.direction.y));
         let (mut tmin, mut tmax) = (
             ((aabb.min.x - self.origin.x) * ix).min((aabb.max.x - self.origin.x) * ix),

@@ -205,11 +205,7 @@ impl Obb {
     /// Overlap test against an axis-aligned box (conservative SAT on the
     /// OBB axes plus the world axes).
     pub fn intersects_aabb(&self, aabb: &Aabb) -> bool {
-        let other = Obb::new(
-            Pose::new(aabb.center(), 0.0),
-            aabb.width(),
-            aabb.height(),
-        );
+        let other = Obb::new(Pose::new(aabb.center(), 0.0), aabb.width(), aabb.height());
         self.intersects(&other)
     }
 }

@@ -130,8 +130,8 @@ impl BicycleModel {
         // friction-limited effective wheel angle.
         let target_delta = c.steer * p.max_steer;
         let max_step = p.max_steer_rate * dt;
-        let steer_angle = state.steer_angle
-            + (target_delta - state.steer_angle).clamp(-max_step, max_step);
+        let steer_angle =
+            state.steer_angle + (target_delta - state.steer_angle).clamp(-max_step, max_step);
         let mut delta = steer_angle;
         if speed > 0.5 {
             let lat_acc = speed * speed * delta.tan().abs() / p.wheelbase;

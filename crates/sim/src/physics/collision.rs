@@ -89,11 +89,7 @@ mod tests {
     #[test]
     fn box_box() {
         let a = CollisionShape::Box(Obb::new(Pose::origin(), 4.0, 2.0));
-        let b = CollisionShape::Box(Obb::new(
-            Pose::new(Vec2::new(3.0, 0.5), 0.4),
-            4.0,
-            2.0,
-        ));
+        let b = CollisionShape::Box(Obb::new(Pose::new(Vec2::new(3.0, 0.5), 0.4), 4.0, 2.0));
         assert!(a.contact(&b).is_some());
         let far = CollisionShape::Box(Obb::new(Pose::new(Vec2::new(20.0, 0.0), 0.0), 4.0, 2.0));
         assert!(a.contact(&far).is_none());

@@ -38,7 +38,7 @@ pub struct RenderScene<'a> {
     /// Current weather (ambient light, fog).
     pub weather: Weather,
     /// Sprites to draw, any order (painter-sorted internally).
-    pub billboards: Vec<Billboard>,
+    pub billboards: &'a [Billboard],
 }
 
 /// Camera intrinsics and mounting.
@@ -75,9 +75,43 @@ impl Default for CameraConfig {
 }
 
 /// The forward RGB camera sensor.
-#[derive(Debug, Clone, Copy)]
+///
+/// Construction precomputes a per-pixel ray table: because the camera's
+/// heading rotation is purely about the vertical axis, each pixel's ray
+/// elevation — and therefore its sky/ground classification, ground-hit
+/// offsets in the camera frame, and hit distance — depends only on the
+/// intrinsics and pitch, never on the ego pose. Rendering a frame then
+/// reduces to one table lookup plus a map material query per pixel.
+#[derive(Debug, Clone)]
 pub struct Camera {
     config: CameraConfig,
+    /// `tan(fov_h / 2)`.
+    tan_h: f64,
+    /// `tan(fov_v / 2)`.
+    tan_v: f64,
+    /// `sin(pitch)`, `cos(pitch)`.
+    sin_pitch: f64,
+    cos_pitch: f64,
+    /// Row-major per-pixel ray classification.
+    rays: Vec<PixelRay>,
+}
+
+/// Pose-independent classification of one pixel's view ray.
+#[derive(Debug, Clone, Copy)]
+enum PixelRay {
+    /// Ray points at or above the horizon.
+    Sky,
+    /// Ray hits the ground beyond the far clip.
+    Haze,
+    /// Ray hits the ground within range.
+    Ground {
+        /// Hit offset along the heading direction, meters.
+        fwd: f64,
+        /// Hit offset along the right direction, meters.
+        right: f64,
+        /// Slant ground distance from the camera, meters.
+        dist: f64,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -100,12 +134,57 @@ impl Camera {
     ///
     /// Panics if the resolution is zero or the FOV is not in `(0°, 180°)`.
     pub fn new(config: CameraConfig) -> Self {
-        assert!(config.width > 0 && config.height > 0, "resolution must be non-zero");
+        assert!(
+            config.width > 0 && config.height > 0,
+            "resolution must be non-zero"
+        );
         assert!(
             config.fov_deg > 0.0 && config.fov_deg < 180.0,
             "fov must be in (0, 180)"
         );
-        Camera { config }
+        let (w, h) = (config.width, config.height);
+        let (sp, cp) = config.pitch_deg.to_radians().sin_cos();
+        let tan_h = (config.fov_deg.to_radians() * 0.5).tan();
+        let tan_v = tan_h * h as f64 / w as f64;
+
+        // For a view direction d = a·heading + b·right + (vertical), the
+        // coefficients a = cos(pitch) + sin(pitch)·v·tan_v and b = u·tan_h
+        // and the elevation d.z = -sin(pitch) + cos(pitch)·v·tan_v are all
+        // independent of the ego pose, as is the ground-hit parameter
+        // t = mount_height / -d.z and the slant distance t·√(a² + b²).
+        let mut rays = Vec::with_capacity(w * h);
+        for y in 0..h {
+            let v_n = 1.0 - 2.0 * (y as f64 + 0.5) / h as f64;
+            for x in 0..w {
+                let u_n = 2.0 * (x as f64 + 0.5) / w as f64 - 1.0;
+                let a = cp + sp * v_n * tan_v;
+                let b = u_n * tan_h;
+                let dz = -sp + cp * v_n * tan_v;
+                rays.push(if dz >= -1e-6 {
+                    PixelRay::Sky
+                } else {
+                    let t = config.mount_height / -dz;
+                    let dist = (a * a + b * b).sqrt() * t;
+                    if dist > config.max_range {
+                        PixelRay::Haze
+                    } else {
+                        PixelRay::Ground {
+                            fwd: a * t,
+                            right: b * t,
+                            dist,
+                        }
+                    }
+                });
+            }
+        }
+        Camera {
+            config,
+            tan_h,
+            tan_v,
+            sin_pitch: sp,
+            cos_pitch: cp,
+            rays,
+        }
     }
 
     /// Camera configuration.
@@ -113,12 +192,21 @@ impl Camera {
         &self.config
     }
 
-    /// Renders the scene from the ego pose.
+    /// Renders the scene from the ego pose into a fresh image.
+    ///
+    /// Allocating convenience wrapper around [`Camera::render_into`].
     pub fn render(&self, scene: &RenderScene<'_>, ego: Pose) -> Image {
+        let mut img = Image::new(self.config.width, self.config.height);
+        self.render_into(scene, ego, &mut img);
+        img
+    }
+
+    /// Renders the scene from the ego pose, reusing `img`'s allocation.
+    pub fn render_into(&self, scene: &RenderScene<'_>, ego: Pose, img: &mut Image) {
         let cfg = &self.config;
         let w = cfg.width;
         let h = cfg.height;
-        let mut img = Image::new(w, h);
+        img.reshape(w, h);
 
         let ambient = scene.weather.ambient_light() as f32;
         let fog = scene.weather.fog_density();
@@ -126,18 +214,18 @@ impl Camera {
         let haze: Rgb = scale([0.72, 0.74, 0.78], ambient);
 
         // Camera basis.
-        let pitch = cfg.pitch_deg.to_radians();
+        let (sp, cp) = (self.sin_pitch, self.cos_pitch);
         let f2 = ego.forward();
         let cam_xy = ego.position + f2 * cfg.hood_offset;
-        let (sp, cp) = pitch.sin_cos();
+        let right2 = Vec2::new(f2.y, -f2.x);
         let fwd = Vec3 {
             x: f2.x * cp,
             y: f2.y * cp,
             z: -sp,
         };
         let right = Vec3 {
-            x: f2.y,
-            y: -f2.x,
+            x: right2.x,
+            y: right2.y,
             z: 0.0,
         };
         let up = Vec3 {
@@ -145,60 +233,91 @@ impl Camera {
             y: f2.y * sp,
             z: cp,
         };
-        let tan_h = (cfg.fov_deg.to_radians() * 0.5).tan();
-        let tan_v = tan_h * h as f64 / w as f64;
+        let (tan_h, tan_v) = (self.tan_h, self.tan_v);
 
-        // Ground / sky pass.
-        for y in 0..h {
-            let v_n = 1.0 - 2.0 * (y as f64 + 0.5) / h as f64;
-            for x in 0..w {
-                let u_n = 2.0 * (x as f64 + 0.5) / w as f64 - 1.0;
-                let d = Vec3 {
-                    x: fwd.x + right.x * u_n * tan_h + up.x * v_n * tan_v,
-                    y: fwd.y + right.y * u_n * tan_h + up.y * v_n * tan_v,
-                    z: fwd.z + right.z * u_n * tan_h + up.z * v_n * tan_v,
-                };
-                let color = if d.z >= -1e-6 {
-                    sky
-                } else {
-                    let t = cfg.mount_height / -d.z;
-                    let gx = cam_xy.x + d.x * t;
-                    let gy = cam_xy.y + d.y * t;
-                    let dist = (d.x * t).hypot(d.y * t);
-                    if dist > cfg.max_range {
-                        haze
-                    } else {
-                        let mat = scene.map.material_at(Vec2::new(gx, gy));
-                        let base = scale(material_color(mat), ambient);
+        // Ground / sky pass: table lookup per pixel; only ground hits pay
+        // for a material query and (in weather with fog) an `exp`. The
+        // ambient-shaded palette is hoisted out of the loop, and the
+        // material queries go through a cursor so consecutive pixels that
+        // sample the same map cell skip cell resolution.
+        let shaded = {
+            let mut table = [[0.0f32; 3]; 6];
+            for m in [
+                Material::Grass,
+                Material::Sidewalk,
+                Material::Road,
+                Material::MarkCenter,
+                Material::MarkEdge,
+                Material::Building,
+            ] {
+                table[m as usize] = scale(material_color(m), ambient);
+            }
+            table
+        };
+        let mut materials = scene.map.material_cursor();
+        for (px, ray) in img.data_mut().chunks_exact_mut(3).zip(&self.rays) {
+            let color = match *ray {
+                PixelRay::Sky => sky,
+                PixelRay::Haze => haze,
+                PixelRay::Ground {
+                    fwd: a,
+                    right: b,
+                    dist,
+                } => {
+                    let gx = cam_xy.x + f2.x * a + right2.x * b;
+                    let gy = cam_xy.y + f2.y * a + right2.y * b;
+                    let mat = materials.material_at(Vec2::new(gx, gy));
+                    let base = shaded[mat as usize];
+                    if fog > 0.0 {
                         let fb = 1.0 - (-fog * dist).exp();
                         mix(base, haze, fb as f32)
+                    } else {
+                        base
                     }
-                };
-                img.set_pixel(x, y, color);
-            }
+                }
+            };
+            px.copy_from_slice(&color);
         }
 
-        // Billboard pass, far to near.
-        let mut boards: Vec<(f64, &Billboard)> = scene
-            .billboards
-            .iter()
-            .filter_map(|b| {
-                let rel = Vec3 {
-                    x: b.position.x - cam_xy.x,
-                    y: b.position.y - cam_xy.y,
-                    z: -cfg.mount_height,
-                };
-                let depth = rel.dot(fwd);
-                if depth > 0.5 && depth < cfg.max_range {
-                    Some((depth, b))
+        // Billboard pass, far to near. Scenes carry a handful of sprites,
+        // so the depth sort runs in a stack buffer (heap fallback for
+        // oversized scenes) to keep the steady-state frame allocation-free.
+        const STACK_BOARDS: usize = 64;
+        let mut stack = [(0.0f64, 0u32); STACK_BOARDS];
+        let mut heap: Vec<(f64, u32)> = Vec::new();
+        let use_heap = scene.billboards.len() > STACK_BOARDS;
+        let mut n = 0usize;
+        for (i, b) in scene.billboards.iter().enumerate() {
+            let rel = Vec3 {
+                x: b.position.x - cam_xy.x,
+                y: b.position.y - cam_xy.y,
+                z: -cfg.mount_height,
+            };
+            let depth = rel.dot(fwd);
+            if depth > 0.5 && depth < cfg.max_range {
+                if use_heap {
+                    heap.push((depth, i as u32));
                 } else {
-                    None
+                    stack[n] = (depth, i as u32);
                 }
-            })
-            .collect();
-        boards.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                n += 1;
+            }
+        }
+        let boards = if use_heap {
+            &mut heap[..]
+        } else {
+            &mut stack[..n]
+        };
+        // Unstable sort with an index tiebreak: same far-to-near order a
+        // stable sort would give, without its scratch allocation.
+        boards.sort_unstable_by(|x, y| {
+            y.0.partial_cmp(&x.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(x.1.cmp(&y.1))
+        });
 
-        for (_, b) in boards {
+        for &mut (_, i) in boards {
+            let b = &scene.billboards[i as usize];
             let project = |z_world: f64| -> Option<(f64, f64, f64)> {
                 let rel = Vec3 {
                     x: b.position.x - cam_xy.x,
@@ -232,8 +351,6 @@ impl Camera {
                 color,
             );
         }
-
-        img
     }
 }
 
@@ -284,9 +401,27 @@ mod tests {
         let scene = RenderScene {
             map,
             weather,
-            billboards: boards,
+            billboards: &boards,
         };
         cam.render(&scene, ego_on_lane(map))
+    }
+
+    #[test]
+    fn render_into_reuses_buffer_and_matches_render() {
+        let map = town();
+        let cam = Camera::new(CameraConfig::default());
+        let scene = RenderScene {
+            map: &map,
+            weather: Weather::Fog,
+            billboards: &[],
+        };
+        let ego = ego_on_lane(&map);
+        let fresh = cam.render(&scene, ego);
+        // Start from a differently-shaped dirty buffer: render_into must
+        // reshape it and overwrite every pixel.
+        let mut reused = Image::filled(3, 5, [0.9, 0.1, 0.9]);
+        cam.render_into(&scene, ego, &mut reused);
+        assert_eq!(fresh, reused);
     }
 
     #[test]

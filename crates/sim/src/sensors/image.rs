@@ -71,6 +71,27 @@ impl Image {
         &mut self.data
     }
 
+    /// Reshapes the buffer in place to `width × height`, reusing the
+    /// allocation when capacity allows. Pixel contents are unspecified
+    /// afterwards (callers are expected to overwrite every pixel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reshape(&mut self, width: usize, height: usize) {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        self.width = width;
+        self.height = height;
+        self.data.resize(width * height * 3, 0.0);
+    }
+
+    /// Makes `self` an exact copy of `src`, reusing the allocation when
+    /// capacity allows (unlike `Clone::clone`, which always reallocates).
+    pub fn copy_from(&mut self, src: &Image) {
+        self.reshape(src.width, src.height);
+        self.data.copy_from_slice(&src.data);
+    }
+
     #[inline]
     fn idx(&self, x: usize, y: usize) -> usize {
         debug_assert!(x < self.width && y < self.height);
@@ -103,8 +124,8 @@ impl Image {
     #[inline]
     pub fn blend_pixel(&mut self, x: usize, y: usize, c: Rgb, alpha: f32) {
         let i = self.idx(x, y);
-        for k in 0..3 {
-            self.data[i + k] = self.data[i + k] * (1.0 - alpha) + c[k] * alpha;
+        for (k, ch) in c.iter().enumerate() {
+            self.data[i + k] = self.data[i + k] * (1.0 - alpha) + ch * alpha;
         }
     }
 

@@ -121,7 +121,11 @@ mod tests {
         imu.measure(1.0, std::f64::consts::PI - 0.01, FRAME_DT, &mut rng);
         let r = imu.measure(1.0, -std::f64::consts::PI + 0.01, FRAME_DT, &mut rng);
         // Crossed the wrap-around going CCW by 0.02 rad, not by -2π+0.02.
-        assert!((r.yaw_rate - 0.02 / FRAME_DT).abs() < 1e-6, "yaw={}", r.yaw_rate);
+        assert!(
+            (r.yaw_rate - 0.02 / FRAME_DT).abs() < 1e-6,
+            "yaw={}",
+            r.yaw_rate
+        );
     }
 
     #[test]

@@ -75,14 +75,35 @@ impl Lidar {
     }
 
     /// Scans from the ego pose against the given obstacle shapes.
+    ///
+    /// Allocating convenience wrapper around [`Lidar::scan_into`].
     pub fn scan<'a>(
         &self,
         ego: Pose,
         obstacles: impl Iterator<Item = &'a CollisionShape> + Clone,
     ) -> LidarScan {
+        let mut out = LidarScan {
+            ranges: Vec::with_capacity(self.config.beams),
+            fov_deg: self.config.fov_deg,
+            max_range: self.config.max_range,
+        };
+        self.scan_into(ego, obstacles, &mut out);
+        out
+    }
+
+    /// Scans from the ego pose, reusing `out`'s range buffer.
+    pub fn scan_into<'a>(
+        &self,
+        ego: Pose,
+        obstacles: impl Iterator<Item = &'a CollisionShape> + Clone,
+        out: &mut LidarScan,
+    ) {
         let n = self.config.beams;
         let fov = self.config.fov_deg.to_radians();
-        let mut ranges = Vec::with_capacity(n);
+        out.fov_deg = self.config.fov_deg;
+        out.max_range = self.config.max_range;
+        out.ranges.clear();
+        out.ranges.reserve(n);
         for i in 0..n {
             let rel = fov * 0.5 - fov * i as f64 / (n - 1) as f64;
             let ray = Ray::from_angle(ego.position, ego.heading + rel);
@@ -99,12 +120,7 @@ impl Lidar {
                     }
                 }
             }
-            ranges.push(best);
-        }
-        LidarScan {
-            ranges,
-            fov_deg: self.config.fov_deg,
-            max_range: self.config.max_range,
+            out.ranges.push(best);
         }
     }
 }

@@ -98,10 +98,10 @@ mod tests {
 
     #[test]
     fn fog_is_foggiest() {
-        let max = Weather::ALL
-            .iter()
-            .map(|w| (w.fog_density(), *w))
-            .fold((0.0, Weather::ClearNoon), |a, b| if b.0 > a.0 { b } else { a });
+        let max = Weather::ALL.iter().map(|w| (w.fog_density(), *w)).fold(
+            (0.0, Weather::ClearNoon),
+            |a, b| if b.0 > a.0 { b } else { a },
+        );
         assert_eq!(max.1, Weather::Fog);
     }
 

@@ -14,7 +14,10 @@ use crate::physics::{BicycleModel, CollisionShape, VehicleControl, VehicleParams
 use crate::recorder::{Recorder, TrajectorySample};
 use crate::rng::stream_rng;
 use crate::scenario::Scenario;
-use crate::sensors::{Billboard, Camera, Gps, Imu, Lidar, RenderScene, SensorFrame};
+use crate::sensors::{
+    Billboard, Camera, Gps, GpsFix, Image, Imu, ImuReading, Lidar, LidarScan, RenderScene,
+    SensorFrame,
+};
 use crate::violation::{EgoSnapshot, ViolationKind, ViolationMonitor};
 use crate::weather::Weather;
 use crate::FRAME_DT;
@@ -114,6 +117,11 @@ pub struct World {
     ped_rng: StdRng,
     gps_rng: StdRng,
     imu_rng: StdRng,
+    /// Reused per-frame billboard list (steady-state `observe` is
+    /// allocation-free; see [`World::observe_into`]).
+    scratch_billboards: Vec<Billboard>,
+    /// Reused per-frame LIDAR obstacle list.
+    scratch_shapes: Vec<CollisionShape>,
 }
 
 // RNG stream ids derived from the scenario seed.
@@ -183,6 +191,8 @@ impl World {
             imu_rng: stream_rng(scenario.seed, STREAM_IMU),
             scenario: scenario.clone(),
             map,
+            scratch_billboards: Vec::new(),
+            scratch_shapes: Vec::new(),
         }
     }
 
@@ -405,28 +415,31 @@ impl World {
     }
 
     /// Produces the observation frame the server ships to the agent client.
+    ///
+    /// Allocating convenience wrapper around [`World::observe_into`]; hot
+    /// loops (the campaign runner, the sim server) should allocate one
+    /// observation up front and refresh it in place instead.
     pub fn observe(&mut self) -> WorldObservation {
-        let image = self
-            .camera
-            .render(&self.render_scene(), self.ego.pose);
-        let shapes = self.lidar_shapes();
-        let lidar = self.lidar.scan(self.ego.pose, shapes.iter());
-        let gps = self.gps.measure(self.ego.pose.position, &mut self.gps_rng);
-        let imu = self.imu.measure(
-            self.ego.speed,
-            self.ego.pose.heading,
-            FRAME_DT,
-            &mut self.imu_rng,
-        );
-        let goal = self.tracker.route().goal();
-        WorldObservation {
+        let cam = *self.camera.config();
+        let lidar_cfg = *self.lidar.config();
+        let mut obs = WorldObservation {
             sensors: SensorFrame {
                 frame: self.frame,
                 time: self.time,
-                image,
-                lidar,
-                gps,
-                imu,
+                image: Image::new(cam.width, cam.height),
+                lidar: LidarScan {
+                    ranges: Vec::with_capacity(lidar_cfg.beams),
+                    fov_deg: lidar_cfg.fov_deg,
+                    max_range: lidar_cfg.max_range,
+                },
+                gps: GpsFix {
+                    position: self.ego.pose.position,
+                    accuracy: 0.0,
+                },
+                imu: ImuReading {
+                    accel: 0.0,
+                    yaw_rate: 0.0,
+                },
                 speed: self.ego.speed,
                 heading: self.ego.pose.heading,
             },
@@ -436,10 +449,64 @@ impl World {
                 pose: self.ego.pose,
                 speed: self.ego.speed,
                 odometer: self.odometer,
-                goal_distance: self.ego.pose.position.distance(goal),
-                route_remaining: self.tracker.remaining(),
+                goal_distance: 0.0,
+                route_remaining: 0.0,
             },
-        }
+        };
+        self.observe_into(&mut obs);
+        obs
+    }
+
+    /// Refreshes `obs` in place with the current frame's observation,
+    /// reusing the image and LIDAR buffers. Every field of `obs` is
+    /// overwritten; after the buffers have warmed up to the sensor
+    /// dimensions this performs no heap allocation.
+    pub fn observe_into(&mut self, obs: &mut WorldObservation) {
+        // The scratch vectors are moved out while borrowed helpers run so
+        // the scene can borrow `self.map` immutably; their capacity is
+        // preserved across frames (`mem::take` leaves an empty Vec behind
+        // without allocating).
+        let mut billboards = std::mem::take(&mut self.scratch_billboards);
+        billboards.clear();
+        self.fill_billboards(&mut billboards);
+        let scene = RenderScene {
+            map: &self.map,
+            weather: self.weather(),
+            billboards: &billboards,
+        };
+        self.camera
+            .render_into(&scene, self.ego.pose, &mut obs.sensors.image);
+        self.scratch_billboards = billboards;
+
+        let mut shapes = std::mem::take(&mut self.scratch_shapes);
+        shapes.clear();
+        self.fill_lidar_shapes(&mut shapes);
+        self.lidar
+            .scan_into(self.ego.pose, shapes.iter(), &mut obs.sensors.lidar);
+        self.scratch_shapes = shapes;
+
+        obs.sensors.gps = self.gps.measure(self.ego.pose.position, &mut self.gps_rng);
+        obs.sensors.imu = self.imu.measure(
+            self.ego.speed,
+            self.ego.pose.heading,
+            FRAME_DT,
+            &mut self.imu_rng,
+        );
+        obs.sensors.frame = self.frame;
+        obs.sensors.time = self.time;
+        obs.sensors.speed = self.ego.speed;
+        obs.sensors.heading = self.ego.pose.heading;
+
+        let goal = self.tracker.route().goal();
+        obs.command = self.tracker.command();
+        obs.mission = self.mission;
+        obs.truth = EgoTruth {
+            pose: self.ego.pose,
+            speed: self.ego.speed,
+            odometer: self.odometer,
+            goal_distance: self.ego.pose.position.distance(goal),
+            route_remaining: self.tracker.remaining(),
+        };
     }
 
     fn snapshot(&self) -> EgoSnapshot {
@@ -464,8 +531,7 @@ impl World {
             .any(|b| b.distance_to(obb.pose.position) < 10.0 && obb.intersects_aabb(b))
     }
 
-    fn render_scene(&self) -> RenderScene<'_> {
-        let mut billboards = Vec::new();
+    fn fill_billboards(&self, billboards: &mut Vec<Billboard>) {
         for npc in &self.npcs {
             billboards.push(Billboard {
                 position: npc.pose(&self.map).position,
@@ -518,15 +584,11 @@ impl World {
                 });
             }
         }
-        RenderScene {
-            map: &self.map,
-            weather: self.weather(),
-            billboards,
-        }
     }
 
-    fn lidar_shapes(&self) -> Vec<CollisionShape> {
-        let mut shapes = self.actor_shapes();
+    fn fill_lidar_shapes(&self, shapes: &mut Vec<CollisionShape>) {
+        shapes.extend(self.npcs.iter().map(|n| n.shape(&self.map)));
+        shapes.extend(self.pedestrians.iter().map(|p| p.shape()));
         let ego_p = self.ego.pose.position;
         let max = self.lidar.config().max_range + 10.0;
         shapes.extend(
@@ -536,7 +598,6 @@ impl World {
                 .filter(|b| b.distance_to(ego_p) < max)
                 .map(|b| CollisionShape::Fixed(*b)),
         );
-        shapes
     }
 }
 

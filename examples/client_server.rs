@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let control = VehicleControl::new(0.0, 0.35, 0.0);
         client.send_control(obs.sensors.frame, control)?;
         frames += 1;
-        if frames % 150 == 0 {
+        if frames.is_multiple_of(150) {
             println!(
                 "client: frame {frames}, speed {:.1} m/s, goal {:.0} m away",
                 obs.sensors.speed, obs.truth.goal_distance
@@ -82,15 +82,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .build();
     let mut world = World::from_scenario(&scenario);
     let mut expert = ExpertDriver::new();
+    let mut obs = world.observe();
     loop {
-        let obs = world.observe();
-        let c = expert.drive(&DriverInput {
-            obs: &obs,
-            world: &world,
-        });
+        let c = expert.drive(&DriverInput::clean(&obs, &world));
         if world.step(c).is_terminal() {
             break;
         }
+        world.observe_into(&mut obs);
     }
     println!(
         "in-process expert on the same seed: {:?}, {} violations",

@@ -3,11 +3,12 @@
 
 use avfi::agent::controller::{Driver, DriverInput};
 use avfi::agent::ExpertDriver;
-use avfi::fi::campaign::{AgentSpec, Campaign, CampaignConfig};
+use avfi::fi::campaign::{run_single, AgentSpec, Campaign, CampaignConfig, MissionOutcome};
 use avfi::fi::fault::timing::TimingFault;
 use avfi::fi::fault::FaultSpec;
+use avfi::fi::harness::AvDriver;
 use avfi::fi::metrics;
-use avfi::net::{SimClient, SimServer, TcpTransport};
+use avfi::net::{InProcTransport, SimClient, SimServer, TcpTransport};
 use avfi::sim::scenario::{Scenario, TownSpec};
 use avfi::sim::world::{MissionStatus, World};
 use std::net::TcpListener;
@@ -48,10 +49,7 @@ fn expert_completes_mission_through_tcp_loop() {
     while let Some(obs) = client.recv_observation().unwrap() {
         // Shadow world must agree with the server's observation.
         assert_eq!(obs.sensors.frame, shadow.frame());
-        let control = expert.drive(&DriverInput {
-            obs: &obs,
-            world: &shadow,
-        });
+        let control = expert.drive(&DriverInput::clean(&obs, &shadow));
         client.send_control(obs.sensors.frame, control).unwrap();
         shadow.step(control);
     }
@@ -64,6 +62,53 @@ fn expert_completes_mission_through_tcp_loop() {
 }
 
 #[test]
+fn inproc_lockstep_is_bit_identical_to_run_single() {
+    // The same mission executed two ways — in-process by the campaign
+    // runner and over the SimServer/SimClient lockstep protocol — must
+    // produce bit-identical results, or campaign numbers would depend on
+    // the deployment topology.
+    let template = unsignalized_scenario(11, 60.0);
+    let direct = run_single(&template, 0, 0, &FaultSpec::None, &AgentSpec::Expert);
+
+    // Re-derive the exact per-run scenario run_single used.
+    let mut derived = template.clone();
+    derived.seed = direct.seed;
+
+    let (server_end, client_end) = InProcTransport::pair();
+    let scenario_server = derived.clone();
+    let server = thread::spawn(move || {
+        let world = World::from_scenario(&scenario_server);
+        let mut server = SimServer::new(world, server_end);
+        let status = server.serve_mission().unwrap();
+        (status, server.into_world())
+    });
+
+    // The expert is an oracle, so the client mirrors the world and steps it
+    // with the same controls (cross-thread determinism keeps them aligned).
+    let mut shadow = World::from_scenario(&derived);
+    let mut driver = AvDriver::expert(FaultSpec::None, derived.seed);
+    let mut client = SimClient::new(client_end);
+    while let Some(obs) = client.recv_observation().unwrap() {
+        let control = driver.drive_frame(&obs, &shadow);
+        client.send_control(obs.sensors.frame, control).unwrap();
+        shadow.step(control);
+    }
+    let (status, server_world) = server.join().unwrap();
+
+    assert_eq!(MissionOutcome::from(status), direct.outcome);
+    assert_eq!(server_world.time(), direct.duration);
+    assert_eq!(server_world.odometer() / 1000.0, direct.distance_km);
+    let events = server_world.monitor().events();
+    assert_eq!(events.len(), direct.violations.len());
+    for (net, dir) in events.iter().zip(&direct.violations) {
+        assert_eq!(net.kind, dir.kind);
+        assert_eq!(net.time, dir.time);
+        assert_eq!(net.position, dir.position);
+    }
+    assert_eq!(driver.injection_time(), direct.injection_time);
+}
+
+#[test]
 fn campaign_metrics_pipeline() {
     let config = CampaignConfig::builder(vec![unsignalized_scenario(7, 60.0)])
         .runs_per_scenario(3)
@@ -72,7 +117,7 @@ fn campaign_metrics_pipeline() {
     let result = Campaign::new(config).run();
     assert_eq!(result.runs().len(), 3);
     let msr = metrics::mission_success_rate(result.runs());
-    assert!(msr >= 0.0 && msr <= 100.0);
+    assert!((0.0..=100.0).contains(&msr));
     // The expert on light traffic should mostly succeed and drive clean.
     assert!(msr >= 66.0, "expert MSR={msr}");
     for run in result.runs() {
@@ -87,7 +132,10 @@ fn output_delay_degrades_expert() {
     // Figure 4's mechanism end-to-end: the same campaign with a 30-frame
     // (2 s) output delay must produce more violations per km than the
     // fault-free baseline, and a worse or equal MSR.
-    let scenarios = vec![unsignalized_scenario(21, 90.0), unsignalized_scenario(22, 90.0)];
+    let scenarios = vec![
+        unsignalized_scenario(21, 90.0),
+        unsignalized_scenario(22, 90.0),
+    ];
     let run = |fault: FaultSpec| {
         let config = CampaignConfig::builder(scenarios.clone())
             .runs_per_scenario(2)
@@ -125,7 +173,10 @@ fn violations_recorded_with_positions_inside_world_bounds() {
     assert!(!events.is_empty(), "wild driving must violate something");
     let bounds = world.map().bounds();
     for e in events {
-        assert!(bounds.contains(e.position), "violation outside world: {e:?}");
+        assert!(
+            bounds.contains(e.position),
+            "violation outside world: {e:?}"
+        );
         assert!(e.time >= 0.0 && e.time <= world.time());
         assert!(e.odometer <= world.odometer() + 1e-6);
     }

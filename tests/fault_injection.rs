@@ -40,7 +40,7 @@ fn neural_agent(seed: u64) -> AgentSpec {
 
 #[test]
 fn every_fault_class_has_a_distinct_label() {
-    let specs = vec![
+    let specs = [
         FaultSpec::None,
         FaultSpec::Input(InputFault::always(ImageFault::gaussian(0.1))),
         FaultSpec::Hardware(HardwareFault::always(
@@ -54,8 +54,7 @@ fn every_fault_class_has_a_distinct_label() {
             selector: ParamSelector::All,
         }),
     ];
-    let labels: std::collections::HashSet<String> =
-        specs.iter().map(|s| s.label()).collect();
+    let labels: std::collections::HashSet<String> = specs.iter().map(|s| s.label()).collect();
     assert_eq!(labels.len(), specs.len());
     let classes: Vec<&str> = specs.iter().map(|s| s.class()).collect();
     assert_eq!(
@@ -113,7 +112,11 @@ fn stuck_brake_prevents_any_progress() {
         BitFaultModel::StuckAt { value: 1.0 },
     ));
     let result = run_single(&scenario(62), 0, 0, &fault, &AgentSpec::Expert);
-    assert!(result.distance_km < 0.005, "moved {} km", result.distance_km);
+    assert!(
+        result.distance_km < 0.005,
+        "moved {} km",
+        result.distance_km
+    );
     assert!(!result.outcome.is_success());
 }
 
@@ -178,8 +181,7 @@ fn neuron_stuck_at_is_injected() {
         &agent,
     );
     assert!(
-        (clean.distance_km - stuck.distance_km).abs() > 1e-12
-            || clean.duration != stuck.duration,
+        (clean.distance_km - stuck.distance_km).abs() > 1e-12 || clean.duration != stuck.duration,
         "stuck neuron had no effect"
     );
 }

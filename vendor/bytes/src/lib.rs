@@ -1,0 +1,233 @@
+//! Minimal `BytesMut`/`Buf`/`BufMut` covering the codec and transport layers.
+//!
+//! Unlike the real crate there is no refcounted sharing: `BytesMut` is a
+//! `Vec<u8>` plus a start offset, so `advance`/`split_to` are O(1) amortized
+//! (the consumed prefix is compacted lazily once it dominates the buffer).
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer supporting cheap consumption from the front.
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BytesMut")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            start: 0,
+        }
+    }
+
+    /// Number of readable bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether no bytes are readable.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ensures space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.compact_if_stale();
+        self.buf.reserve(additional);
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Removes all bytes, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+
+    /// Splits off and returns the first `at` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(
+            at <= self.len(),
+            "split_to out of bounds: {at} > {}",
+            self.len()
+        );
+        let head = self.buf[self.start..self.start + at].to_vec();
+        self.start += at;
+        self.compact_if_stale();
+        BytesMut {
+            buf: head,
+            start: 0,
+        }
+    }
+
+    /// Drops the consumed prefix once it outweighs the live bytes, keeping
+    /// `advance`/`split_to` amortized O(1) without unbounded memory growth.
+    fn compact_if_stale(&mut self) {
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut {
+            buf: src.to_vec(),
+            start: 0,
+        }
+    }
+}
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Number of readable bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// Discards the next `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads a little-endian u32 and advances past it.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads one byte and advances past it.
+    fn get_u8(&mut self) -> u8;
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(
+            cnt <= self.len(),
+            "advance out of bounds: {cnt} > {}",
+            self.len()
+        );
+        self.start += cnt;
+        self.compact_if_stale();
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self[..4]);
+        self.advance(4);
+        u32::from_le_bytes(raw)
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self[0];
+        self.advance(1);
+        b
+    }
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    /// Appends a little-endian u32.
+    fn put_u32_le(&mut self, n: u32);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u32_le(&mut self, n: u32) {
+        self.buf.extend_from_slice(&n.to_le_bytes());
+    }
+
+    fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32_le(0xDEADBEEF);
+        b.put_u8(7);
+        b.put_slice(b"xyz");
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(&b[..], b"xyz");
+    }
+
+    #[test]
+    fn split_to_consumes_prefix() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"hello world");
+        let head = b.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(&b[..], b" world");
+        b.advance(1);
+        assert_eq!(&b[..], b"world");
+    }
+
+    #[test]
+    fn compaction_keeps_contents() {
+        let mut b = BytesMut::new();
+        for i in 0..10_000u32 {
+            b.put_u32_le(i);
+        }
+        for i in 0..9_000u32 {
+            assert_eq!(b.get_u32_le(), i);
+        }
+        assert_eq!(b.len(), 4000);
+        assert_eq!(b.get_u32_le(), 9000);
+    }
+}

@@ -1,0 +1,237 @@
+//! Benchmark harness stand-in with criterion's API shape.
+//!
+//! Each benchmark runs a short warmup, then up to `sample_size` timed
+//! samples (bounded by a wall-clock budget so mission-length benchmarks
+//! stay tractable) and prints the median time per iteration. There are no
+//! HTML reports or statistical comparisons — just honest wall-clock
+//! medians on stdout.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark; slow benchmarks stop sampling early
+/// (but always collect at least 3 samples).
+const SAMPLE_BUDGET: Duration = Duration::from_secs(3);
+
+/// Top-level harness handle passed to benchmark functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (builder style).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().name);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by `iter`.
+    median_ns: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the return value alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warmup (and forces lazy setup)
+        let started = Instant::now();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for i in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            samples.push(t.elapsed().as_secs_f64() * 1e9);
+            if i >= 2 && started.elapsed() > SAMPLE_BUDGET {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    let mut b = Bencher {
+        median_ns: f64::NAN,
+        sample_size,
+    };
+    f(&mut b);
+    let ns = b.median_ns;
+    let (value, unit) = if ns < 1e3 {
+        (ns, "ns")
+    } else if ns < 1e6 {
+        (ns / 1e3, "µs")
+    } else if ns < 1e9 {
+        (ns / 1e6, "ms")
+    } else {
+        (ns / 1e9, "s")
+    };
+    println!("bench {name:<48} {value:>10.3} {unit}/iter");
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, fn, ...)` or
+/// the long form with `config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut runs = 0u32;
+        c.bench_function("counting", |b| b.iter(|| runs += 1));
+        // 1 warmup + 5 samples.
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_override_samples() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function(BenchmarkId::from_parameter("p1"), |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_macro_forms_compile() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group!(simple, target);
+        criterion_group! {
+            name = long;
+            config = Criterion::default().sample_size(3);
+            targets = target, target
+        }
+        simple();
+        long();
+    }
+}

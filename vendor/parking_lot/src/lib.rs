@@ -1,0 +1,82 @@
+//! Minimal `parking_lot::Mutex` over `std::sync::Mutex`.
+//!
+//! Matches the parking_lot API shape the workspace relies on: `lock()`
+//! returns the guard directly (no poisoning `Result`). A panic while a lock
+//! is held clears the poison flag instead of propagating it, mirroring
+//! parking_lot's poison-free semantics.
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// A non-poisoning mutual-exclusion lock.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+/// RAII guard; the lock is released on drop.
+pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a mutex guarding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the guarded value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|poisoned| {
+            self.inner.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    /// Mutable access without locking (exclusive borrow proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_guards_shared_state() {
+        let m = std::sync::Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn survives_panicking_holder() {
+        let m = std::sync::Arc::new(Mutex::new(1u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("holder dies");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1, "lock unusable after a panicking holder");
+    }
+}

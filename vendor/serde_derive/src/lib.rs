@@ -1,0 +1,418 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored mini-serde.
+//!
+//! `syn`/`quote` are not available offline, so this macro parses the item
+//! declaration directly from the raw `proc_macro::TokenStream`. It supports
+//! exactly the shapes this workspace uses — non-generic structs (named,
+//! tuple, unit) and non-generic enums (unit, tuple and struct variants) —
+//! and produces the same externally-tagged JSON layout real serde would:
+//!
+//! * named struct   → object of fields
+//! * newtype struct → the inner value
+//! * tuple struct   → array
+//! * unit variant   → `"Variant"`
+//! * newtype variant→ `{"Variant": value}`
+//! * tuple variant  → `{"Variant": [..]}`
+//! * struct variant → `{"Variant": {..}}`
+//!
+//! `#[serde(...)]` attributes are not supported (the workspace uses none);
+//! generics panic with a clear message rather than miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or an enum variant.
+enum Fields {
+    /// `{ a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `(T, U)` — arity only; types are never needed (trait inference).
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+/// Parsed item: its name plus struct fields or enum variants.
+enum Item {
+    Struct(String, Fields),
+    Enum(String, Vec<(String, Fields)>),
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advances past any `#[...]` attributes (doc comments included).
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i < toks.len() && is_punct(&toks[i], '#') {
+        i += 1; // '#'
+        if i < toks.len()
+            && matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advances past `pub` / `pub(crate)` / `pub(in ...)`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && is_ident(&toks[i], "pub") {
+        i += 1;
+        if i < toks.len()
+            && matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips tokens until a top-level comma (tracking `<...>` nesting inside
+/// type expressions) and returns the index *after* the comma, or the end.
+fn skip_past_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses named-field contents `{ a: T, b: U }`.
+fn parse_named_fields(group: &TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_vis(&toks, skip_attrs(&toks, i));
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("mini serde_derive: expected field name, got `{}`", toks[i]);
+        };
+        names.push(name.to_string());
+        i += 1;
+        assert!(
+            i < toks.len() && is_punct(&toks[i], ':'),
+            "mini serde_derive: expected `:` after field `{}`",
+            names.last().unwrap()
+        );
+        i = skip_past_comma(&toks, i + 1);
+    }
+    names
+}
+
+/// Counts fields in tuple contents `(T, U)`.
+fn count_tuple_fields(group: &TokenStream) -> usize {
+    let toks: Vec<TokenTree> = group.clone().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        n += 1;
+        i = skip_past_comma(&toks, i);
+    }
+    n
+}
+
+fn parse_variants(group: &TokenStream) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!(
+                "mini serde_derive: expected variant name, got `{}`",
+                toks[i]
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = if i < toks.len() {
+            match &toks[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    i += 1;
+                    Fields::Tuple(count_tuple_fields(&g.stream()))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    i += 1;
+                    Fields::Named(parse_named_fields(&g.stream()))
+                }
+                _ => Fields::Unit,
+            }
+        } else {
+            Fields::Unit
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        if i < toks.len() && is_punct(&toks[i], '=') {
+            i = skip_past_comma(&toks, i + 1);
+        } else if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&toks, skip_attrs(&toks, 0));
+    let is_enum = if is_ident(&toks[i], "struct") {
+        false
+    } else if is_ident(&toks[i], "enum") {
+        true
+    } else {
+        panic!(
+            "mini serde_derive: expected `struct` or `enum`, got `{}`",
+            toks[i]
+        );
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("mini serde_derive: expected type name, got `{}`", toks[i]);
+    };
+    let name = name.to_string();
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("mini serde_derive: generic type `{name}` is not supported");
+    }
+    if is_enum {
+        let TokenTree::Group(g) = &toks[i] else {
+            panic!("mini serde_derive: expected enum body for `{name}`");
+        };
+        Item::Enum(name, parse_variants(&g.stream()))
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct(name, Fields::Named(parse_named_fields(&g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::Struct(name, Fields::Tuple(count_tuple_fields(&g.stream())))
+            }
+            _ => Item::Struct(name, Fields::Unit),
+        }
+    }
+}
+
+// --- Serialize codegen ---------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct(name, fields) => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{\n"
+            ));
+            match fields {
+                Fields::Named(names) => {
+                    out.push_str("    ::serde::Value::Object(::std::vec![\n");
+                    for f in names {
+                        out.push_str(&format!(
+                            "      (::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),\n"
+                        ));
+                    }
+                    out.push_str("    ])\n");
+                }
+                Fields::Tuple(1) => out.push_str("    ::serde::Serialize::to_value(&self.0)\n"),
+                Fields::Tuple(n) => {
+                    out.push_str("    ::serde::Value::Array(::std::vec![\n");
+                    for idx in 0..*n {
+                        out.push_str(&format!(
+                            "      ::serde::Serialize::to_value(&self.{idx}),\n"
+                        ));
+                    }
+                    out.push_str("    ])\n");
+                }
+                Fields::Unit => out.push_str("    ::serde::Value::Null\n"),
+            }
+            out.push_str("  }\n}\n");
+        }
+        Item::Enum(name, variants) => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{\n    match self {{\n"
+            ));
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "      {name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let payload = if *n == 1 {
+                            format!("::serde::Serialize::to_value({})", binds[0])
+                        } else {
+                            format!(
+                                "::serde::Value::Array(::std::vec![{}])",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        out.push_str(&format!(
+                            "      {name}::{v}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let entries = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        out.push_str(&format!(
+                            "      {name}::{v} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Object(::std::vec![{entries}]))]),\n",
+                            fs.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("    }\n  }\n}\n");
+        }
+    }
+    out
+}
+
+// --- Deserialize codegen -------------------------------------------------
+
+fn gen_named_build(type_path: &str, fields: &[String], source: &str) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{{ let __entries = {source}.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", {source}))?;\n"
+    ));
+    s.push_str(&format!("  ::std::result::Result::Ok({type_path} {{\n"));
+    for f in fields {
+        s.push_str(&format!(
+            "    {f}: ::serde::Deserialize::from_value(::serde::get_field(__entries, \"{f}\"))?,\n"
+        ));
+    }
+    s.push_str("  }) }\n");
+    s
+}
+
+fn gen_tuple_build(type_path: &str, n: usize, source: &str) -> String {
+    if n == 1 {
+        return format!(
+            "::std::result::Result::Ok({type_path}(::serde::Deserialize::from_value({source})?))\n"
+        );
+    }
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{{ let __items = {source}.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", {source}))?;\n"
+    ));
+    s.push_str(&format!(
+        "  if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple arity\")); }}\n"
+    ));
+    s.push_str(&format!("  ::std::result::Result::Ok({type_path}(\n"));
+    for idx in 0..n {
+        s.push_str(&format!(
+            "    ::serde::Deserialize::from_value(&__items[{idx}])?,\n"
+        ));
+    }
+    s.push_str("  )) }\n");
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct(name, fields) => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n  fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n"
+            ));
+            match fields {
+                Fields::Named(names) => out.push_str(&gen_named_build(name, names, "__v")),
+                Fields::Tuple(n) => out.push_str(&gen_tuple_build(name, *n, "__v")),
+                Fields::Unit => out.push_str(&format!(
+                    "    match __v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), _ => ::std::result::Result::Err(::serde::Error::expected(\"null\", __v)) }}\n"
+                )),
+            }
+            out.push_str("  }\n}\n");
+        }
+        Item::Enum(name, variants) => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n  fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n    match __v {{\n"
+            ));
+            // Unit variants arrive as plain strings.
+            out.push_str("      ::serde::Value::String(__s) => match __s.as_str() {\n");
+            for (v, fields) in variants {
+                if matches!(fields, Fields::Unit) {
+                    out.push_str(&format!(
+                        "        \"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "        __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown {name} variant `{{}}`\", __other))),\n      }},\n"
+            ));
+            // Payload variants arrive as single-entry objects.
+            out.push_str("      ::serde::Value::Object(__entries) if __entries.len() == 1 => {\n");
+            out.push_str("        let (__tag, __payload) = &__entries[0];\n");
+            out.push_str("        match __tag.as_str() {\n");
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(n) => {
+                        out.push_str(&format!(
+                            "          \"{v}\" => {}",
+                            gen_tuple_build(&format!("{name}::{v}"), *n, "__payload")
+                        ));
+                        out.push_str("          ,\n");
+                    }
+                    Fields::Named(fs) => {
+                        out.push_str(&format!(
+                            "          \"{v}\" => {}",
+                            gen_named_build(&format!("{name}::{v}"), fs, "__payload")
+                        ));
+                        out.push_str("          ,\n");
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "          __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown {name} variant `{{}}`\", __other))),\n        }}\n      }}\n"
+            ));
+            out.push_str(&format!(
+                "      __other => ::std::result::Result::Err(::serde::Error::expected(\"enum {name} (string or single-key object)\", __other)),\n"
+            ));
+            out.push_str("    }\n  }\n}\n");
+        }
+    }
+    out
+}
+
+/// Derives `::serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("mini serde_derive produced invalid Serialize impl")
+}
+
+/// Derives `::serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("mini serde_derive produced invalid Deserialize impl")
+}
