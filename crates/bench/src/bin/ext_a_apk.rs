@@ -4,15 +4,17 @@
 //! per kilometer driven") but does not plot it; this harness tabulates it
 //! for the same campaigns as Figures 2/3.
 //!
-//! Usage: `cargo run --release -p avfi-bench --bin ext_a_apk [--quick]`
+//! Usage: `cargo run --release -p avfi-bench --bin ext_a_apk [--quick]
+//! [--workers N] [--progress]`
 
-use avfi_bench::experiments::{export_json, input_fault_study, Scale};
+use avfi_bench::experiments::{export_json, input_fault_study, ExecOptions, Scale};
 use avfi_core::{metrics, report, stats};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("[ext-a] scale = {scale:?}");
-    let results = input_fault_study(scale);
+    let opts = ExecOptions::from_args();
+    eprintln!("[ext-a] scale = {scale:?}, exec = {opts:?}");
+    let results = input_fault_study(scale, &opts);
     let mut table = report::Table::new(vec![
         "Input Fault Injector",
         "aggregate APK",

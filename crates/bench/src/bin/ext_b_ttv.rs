@@ -6,23 +6,25 @@
 //! harness injects each input fault mid-mission (t₀ = 10 s) and measures
 //! the TTV distribution.
 //!
-//! Usage: `cargo run --release -p avfi-bench --bin ext_b_ttv [--quick]`
+//! Usage: `cargo run --release -p avfi-bench --bin ext_b_ttv [--quick]
+//! [--workers N] [--progress]`
 
-use avfi_bench::experiments::{export_json, neural_agent, run_campaign, Scale};
+use avfi_bench::experiments::{export_json, neural_agent, run_study, ExecOptions, Scale};
 use avfi_core::fault::input::{ImageFault, InputFault};
 use avfi_core::fault::FaultSpec;
 use avfi_core::{metrics, report, stats};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("[ext-b] scale = {scale:?}");
+    let opts = ExecOptions::from_args();
+    eprintln!("[ext-b] scale = {scale:?}, exec = {opts:?}");
     // Inject 10 s into the mission (frame 150 at 15 FPS).
     let injection_frame = 150;
     let specs: Vec<FaultSpec> = ImageFault::paper_suite()
         .into_iter()
         .map(|m| FaultSpec::Input(InputFault::from_frame(m, injection_frame)))
         .collect();
-    let mut results = Vec::new();
+    let results = run_study("ttv", neural_agent(), specs, scale, &opts);
     let mut table = report::Table::new(vec![
         "Injector (t0=10s)",
         "runs w/ violation",
@@ -31,8 +33,7 @@ fn main() {
         "min",
         "max",
     ]);
-    for spec in specs {
-        let result = run_campaign(spec, neural_agent(), scale);
+    for result in &results {
         let ttvs = metrics::ttv_distribution(result.runs());
         let s = stats::Summary::of(&ttvs);
         table.row(vec![
@@ -43,7 +44,6 @@ fn main() {
             format!("{:.2}", s.min),
             format!("{:.2}", s.max),
         ]);
-        results.push(result);
     }
     println!(
         "Extension B — Time to traffic violation (injection at t0 = 10 s)\n\n{}",

@@ -7,9 +7,9 @@
 //! IL-CNN and reports MSR and VPK per configuration.
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin ext_c_ml_faults
-//! [--quick]`
+//! [--quick] [--workers N] [--progress]`
 
-use avfi_bench::experiments::{export_json, neural_agent, run_campaign, Scale};
+use avfi_bench::experiments::{export_json, neural_agent, run_study, ExecOptions, Scale};
 use avfi_core::fault::ml::MlFault;
 use avfi_core::fault::FaultSpec;
 use avfi_core::localizer::ParamSelector;
@@ -17,7 +17,8 @@ use avfi_core::{metrics, report, stats};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("[ext-c] scale = {scale:?}");
+    let opts = ExecOptions::from_args();
+    eprintln!("[ext-c] scale = {scale:?}, exec = {opts:?}");
     let mut specs = vec![FaultSpec::None];
     for sigma in [0.02, 0.05, 0.1, 0.2] {
         specs.push(FaultSpec::Ml(MlFault::WeightNoise {
@@ -32,10 +33,9 @@ fn main() {
             selector: ParamSelector::WeightsOnly,
         }));
     }
-    let mut results = Vec::new();
+    let results = run_study("ml-faults", neural_agent(), specs, scale, &opts);
     let mut table = report::Table::new(vec!["ML Fault", "MSR (%)", "median VPK", "mean VPK"]);
-    for spec in specs {
-        let result = run_campaign(spec, neural_agent(), scale);
+    for result in &results {
         let vpk = metrics::vpk_distribution(result.runs());
         let s = stats::Summary::of(&vpk);
         table.row(vec![
@@ -44,7 +44,6 @@ fn main() {
             format!("{:.2}", s.median),
             format!("{:.2}", s.mean),
         ]);
-        results.push(result);
     }
     println!(
         "Extension C — IL-CNN parameter faults (weight noise and bit flips)\n\n{}",

@@ -6,9 +6,9 @@
 //! forward it to the server."
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin ext_d_hw_faults
-//! [--quick]`
+//! [--quick] [--workers N] [--progress]`
 
-use avfi_bench::experiments::{export_json, neural_agent, run_campaign, Scale};
+use avfi_bench::experiments::{export_json, neural_agent, run_study, ExecOptions, Scale};
 use avfi_core::fault::hardware::{BitFaultModel, HardwareFault, HardwareTarget};
 use avfi_core::fault::FaultSpec;
 use avfi_core::trigger::Trigger;
@@ -16,7 +16,8 @@ use avfi_core::{metrics, report, stats};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("[ext-d] scale = {scale:?}");
+    let opts = ExecOptions::from_args();
+    eprintln!("[ext-d] scale = {scale:?}, exec = {opts:?}");
     let mut specs = vec![FaultSpec::None];
     // Transient sign-bit flips on each command, 10% of frames.
     for target in [
@@ -45,7 +46,7 @@ fn main() {
         model: BitFaultModel::MultiBitFlip { bits: vec![62, 61] },
         trigger: Trigger::Bernoulli { p: 0.05 },
     }));
-    let mut results = Vec::new();
+    let results = run_study("hw-faults", neural_agent(), specs, scale, &opts);
     let mut table = report::Table::new(vec![
         "Hardware Fault",
         "MSR (%)",
@@ -53,8 +54,7 @@ fn main() {
         "mean VPK",
         "aggregate APK",
     ]);
-    for spec in specs {
-        let result = run_campaign(spec, neural_agent(), scale);
+    for result in &results {
         let vpk = metrics::vpk_distribution(result.runs());
         let s = stats::Summary::of(&vpk);
         table.row(vec![
@@ -64,7 +64,6 @@ fn main() {
             format!("{:.2}", s.mean),
             format!("{:.2}", metrics::aggregate_apk(result.runs())),
         ]);
-        results.push(result);
     }
     println!(
         "Extension D — Hardware faults on commands and sensor scalars\n\n{}",

@@ -2,14 +2,15 @@
 //! with different input fault injectors.
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin fig2_mission_success
-//! [--quick]`
+//! [--quick] [--workers N] [--progress]`
 
-use avfi_bench::experiments::{export_json, input_fault_study, render_fig2, Scale};
+use avfi_bench::experiments::{export_json, input_fault_study, render_fig2, ExecOptions, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("[fig2] scale = {scale:?}");
-    let results = input_fault_study(scale);
+    let opts = ExecOptions::from_args();
+    eprintln!("[fig2] scale = {scale:?}, exec = {opts:?}");
+    let results = input_fault_study(scale, &opts);
     println!("{}", render_fig2(&results));
     export_json("fig2_mission_success", &results);
 }

@@ -2,14 +2,15 @@
 //! with different input fault injectors.
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin fig3_violations_per_km
-//! [--quick]`
+//! [--quick] [--workers N] [--progress]`
 
-use avfi_bench::experiments::{export_json, input_fault_study, render_fig3, Scale};
+use avfi_bench::experiments::{export_json, input_fault_study, render_fig3, ExecOptions, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("[fig3] scale = {scale:?}");
-    let results = input_fault_study(scale);
+    let opts = ExecOptions::from_args();
+    eprintln!("[fig3] scale = {scale:?}, exec = {opts:?}");
+    let results = input_fault_study(scale, &opts);
     println!("{}", render_fig3(&results));
     export_json("fig3_violations_per_km", &results);
 }

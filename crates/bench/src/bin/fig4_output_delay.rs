@@ -5,14 +5,15 @@
 //! 2 s between decision and actuation — the paper's headline observation.
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin fig4_output_delay
-//! [--quick]`
+//! [--quick] [--workers N] [--progress]`
 
-use avfi_bench::experiments::{export_json, output_delay_study, render_fig4, Scale};
+use avfi_bench::experiments::{export_json, output_delay_study, render_fig4, ExecOptions, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("[fig4] scale = {scale:?}");
-    let results = output_delay_study(scale);
+    let opts = ExecOptions::from_args();
+    eprintln!("[fig4] scale = {scale:?}, exec = {opts:?}");
+    let results = output_delay_study(scale, &opts);
     println!("{}", render_fig4(&results));
     export_json("fig4_output_delay", &results);
 }

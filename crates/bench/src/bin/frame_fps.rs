@@ -3,8 +3,16 @@
 //! agent on a 2×2 town. Emits one JSON object on stdout (the record format
 //! stored in `BENCH_*.json` at the repo root).
 //!
-//! Usage: `cargo run --release -p avfi-bench --bin frame_fps [frames]`
+//! `--fault` injects a fault plan into the loop to measure the injection
+//! hot path itself: `gaussian` pays the per-frame image copy + noise pass,
+//! `gps` is a scalar-only plan (camera model `None`) that corrupts GPS
+//! without ever touching the image — the measured gap is the cost the
+//! optional camera model removes for scalar-only campaigns.
+//!
+//! Usage: `cargo run --release -p avfi-bench --bin frame_fps [frames]
+//! [--fault none|gaussian|gps]`
 
+use avfi_core::fault::input::{GpsFault, ImageFault, InputFault};
 use avfi_core::fault::FaultSpec;
 use avfi_core::harness::AvDriver;
 use avfi_sim::scenario::{Scenario, TownSpec};
@@ -14,10 +22,30 @@ use std::time::Instant;
 const WARMUP_FRAMES: u64 = 200;
 
 fn main() {
-    let frames: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5000);
+    let mut frames: u64 = 5000;
+    let mut fault_name = "none".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Ok(n) = arg.parse::<u64>() {
+            frames = n;
+        } else if arg == "--fault" {
+            fault_name = args.next().unwrap_or_default();
+        }
+    }
+    let fault = match fault_name.as_str() {
+        "none" | "" => FaultSpec::None,
+        "gaussian" => FaultSpec::Input(InputFault::always(ImageFault::gaussian(0.08))),
+        "gps" => FaultSpec::Input(InputFault::scalar_only().with_gps(GpsFault {
+            bias_x: 3.0,
+            bias_y: -2.0,
+            sigma: 1.0,
+        })),
+        other => {
+            eprintln!("unknown --fault {other:?} (use none|gaussian|gps)");
+            std::process::exit(2);
+        }
+    };
+    let label = fault.label();
     let scenario = Scenario::builder(TownSpec::grid(2, 2))
         .seed(5)
         .npc_vehicles(2)
@@ -25,7 +53,7 @@ fn main() {
         .time_budget(1e9)
         .build();
     let mut world = World::from_scenario(&scenario);
-    let mut driver = AvDriver::expert(FaultSpec::None, 11);
+    let mut driver = AvDriver::expert(fault, 11);
 
     let mut obs = world.observe();
     let mut frame_loop = |n: u64| {
@@ -42,7 +70,7 @@ fn main() {
 
     println!(
         "{{\"bench\": \"frame_loop_fps\", \"agent\": \"expert\", \"town\": \"2x2\", \
-         \"frames\": {frames}, \"seconds\": {secs:.6}, \"fps\": {:.1}}}",
+         \"fault\": \"{label}\", \"frames\": {frames}, \"seconds\": {secs:.6}, \"fps\": {:.1}}}",
         frames as f64 / secs
     );
 }

@@ -1,8 +1,17 @@
 //! Shared experiment machinery: evaluation scenarios, cached agent
 //! training, and the campaign studies behind each figure.
+//!
+//! Studies are *declarative*: a [`StudySpec`] names an agent and a sweep
+//! of fault specs, expands into campaigns over the evaluation suite, and
+//! executes through the deterministic work-stealing
+//! [`Engine`](avfi_core::engine::Engine) — every (study × fault ×
+//! scenario × repetition) tuple flows through one flattened work queue,
+//! so no cores idle between campaigns and results are bit-identical for
+//! any `--workers` count.
 
 use avfi_agent::train::train_default_agent;
 use avfi_core::campaign::{AgentSpec, Campaign, CampaignConfig, CampaignResult};
+use avfi_core::engine::{Engine, StderrProgress, StudyResult, WorkPlan};
 use avfi_core::fault::input::{ImageFault, InputFault};
 use avfi_core::fault::timing::TimingFault;
 use avfi_core::fault::FaultSpec;
@@ -51,6 +60,109 @@ impl Scale {
             Scale::full()
         }
     }
+}
+
+/// Engine execution options shared by every experiment binary:
+/// `--workers N` (0 = one per core) and `--progress` (stream engine
+/// events to stderr).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecOptions {
+    /// Engine worker threads (0 = one per available core).
+    pub workers: usize,
+    /// Stream progress events to stderr.
+    pub progress: bool,
+}
+
+impl ExecOptions {
+    /// Parses `--workers N` and `--progress` from argv.
+    pub fn from_args() -> ExecOptions {
+        Self::parse(std::env::args())
+    }
+
+    fn parse(args: impl Iterator<Item = String>) -> ExecOptions {
+        let mut opts = ExecOptions::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--workers" => {
+                    opts.workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                }
+                "--progress" => opts.progress = true,
+                _ => {}
+            }
+        }
+        opts
+    }
+
+    /// Executes a work plan through the engine with these options.
+    pub fn execute(&self, plan: &WorkPlan) -> Vec<StudyResult> {
+        let engine = Engine::new().workers(self.workers);
+        if self.progress {
+            engine.execute_with(plan, &StderrProgress::default())
+        } else {
+            engine.execute(plan)
+        }
+    }
+}
+
+/// Declarative description of one study: a named sweep of fault specs
+/// over the evaluation suite with one agent.
+#[derive(Debug, Clone)]
+pub struct StudySpec {
+    /// Study name (used in plans and progress events).
+    pub name: &'static str,
+    /// The agent under test.
+    pub agent: AgentSpec,
+    /// One campaign per fault spec, in output order.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl StudySpec {
+    /// Expands the study into campaign configurations at `scale`.
+    pub fn campaigns(&self, scale: Scale) -> Vec<CampaignConfig> {
+        self.faults
+            .iter()
+            .map(|fault| {
+                CampaignConfig::builder(evaluation_suite(scale))
+                    .runs_per_scenario(scale.runs)
+                    .fault(fault.clone())
+                    .agent(self.agent.clone())
+                    .build()
+            })
+            .collect()
+    }
+}
+
+/// Builds a work plan from declarative studies at `scale`.
+pub fn plan_studies(studies: &[StudySpec], scale: Scale) -> WorkPlan {
+    let mut plan = WorkPlan::new();
+    for study in studies {
+        plan.add_study(study.name, study.campaigns(scale));
+    }
+    plan
+}
+
+/// Runs one declarative study through the engine and returns its
+/// campaigns in fault-spec order.
+pub fn run_study(
+    name: &'static str,
+    agent: AgentSpec,
+    faults: Vec<FaultSpec>,
+    scale: Scale,
+    opts: &ExecOptions,
+) -> Vec<CampaignResult> {
+    let plan = plan_studies(
+        &[StudySpec {
+            name,
+            agent,
+            faults,
+        }],
+        scale,
+    );
+    opts.execute(&plan)
+        .pop()
+        .expect("plan has one study")
+        .campaigns
 }
 
 /// The evaluation scenario suite: unsignalized grid towns with light
@@ -130,7 +242,9 @@ pub fn neural_agent() -> AgentSpec {
     }
 }
 
-/// Runs one campaign of `fault` over the evaluation suite.
+/// Runs one campaign of `fault` over the evaluation suite (single-campaign
+/// convenience; studies should build a work plan so campaigns share one
+/// queue).
 pub fn run_campaign(fault: FaultSpec, agent: AgentSpec, scale: Scale) -> CampaignResult {
     let config = CampaignConfig::builder(evaluation_suite(scale))
         .runs_per_scenario(scale.runs)
@@ -152,31 +266,46 @@ pub fn input_fault_specs() -> Vec<FaultSpec> {
     specs
 }
 
-/// Runs the Figure 2/3 study: one campaign per input injector.
-pub fn input_fault_study(scale: Scale) -> Vec<CampaignResult> {
-    input_fault_specs()
-        .into_iter()
-        .map(|spec| run_campaign(spec, neural_agent(), scale))
-        .collect()
+/// Runs the Figure 2/3 study: one campaign per input injector, all
+/// flattened into one engine queue.
+pub fn input_fault_study(scale: Scale, opts: &ExecOptions) -> Vec<CampaignResult> {
+    run_study(
+        "input-faults",
+        neural_agent(),
+        input_fault_specs(),
+        scale,
+        opts,
+    )
 }
 
 /// The output-delay sweep of Figure 4, in frames (15 FPS ⇒ 30 frames =
 /// 2 s).
 pub const FIG4_DELAYS: [usize; 5] = [0, 5, 10, 20, 30];
 
-/// Runs the Figure 4 study: one campaign per output delay.
-pub fn output_delay_study(scale: Scale) -> Vec<CampaignResult> {
+/// The Figure 4 fault specs, one per delay (0 frames ⇒ fault-free).
+pub fn output_delay_specs() -> Vec<FaultSpec> {
     FIG4_DELAYS
         .iter()
         .map(|&frames| {
-            let spec = if frames == 0 {
+            if frames == 0 {
                 FaultSpec::None
             } else {
                 FaultSpec::Timing(TimingFault::OutputDelay { frames })
-            };
-            run_campaign(spec, neural_agent(), scale)
+            }
         })
         .collect()
+}
+
+/// Runs the Figure 4 study: one campaign per output delay, all flattened
+/// into one engine queue.
+pub fn output_delay_study(scale: Scale, opts: &ExecOptions) -> Vec<CampaignResult> {
+    run_study(
+        "output-delay",
+        neural_agent(),
+        output_delay_specs(),
+        scale,
+        opts,
+    )
 }
 
 /// Renders the Figure 2 table (mission success rate per injector).
@@ -273,9 +402,13 @@ pub fn render_fig4(results: &[CampaignResult]) -> String {
 }
 
 /// Writes campaign results as JSON into `results/<name>.json` under the
-/// repository root (best effort; failures are printed, not fatal).
+/// repository root (best effort; failures are printed, not fatal). The
+/// `AVFI_RESULTS_DIR` environment variable overrides the output directory
+/// (the smoke-golden gate uses it to keep checked-in results pristine).
 pub fn export_json(name: &str, results: &[CampaignResult]) {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let dir = std::env::var_os("AVFI_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"));
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
@@ -327,6 +460,62 @@ mod tests {
     #[test]
     fn fig4_sweep_matches_paper() {
         assert_eq!(FIG4_DELAYS, [0, 5, 10, 20, 30]);
+        let labels: Vec<String> = output_delay_specs().iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "NoInject",
+                "delay 5f",
+                "delay 10f",
+                "delay 20f",
+                "delay 30f"
+            ]
+        );
+    }
+
+    #[test]
+    fn exec_options_parse_flags() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            ExecOptions::parse(args(&["bin", "--workers", "6", "--progress"]).into_iter()),
+            ExecOptions {
+                workers: 6,
+                progress: true
+            }
+        );
+        assert_eq!(
+            ExecOptions::parse(args(&["bin", "--quick"]).into_iter()),
+            ExecOptions::default()
+        );
+        // A malformed count falls back to auto.
+        assert_eq!(
+            ExecOptions::parse(args(&["bin", "--workers", "lots"]).into_iter()).workers,
+            0
+        );
+    }
+
+    #[test]
+    fn study_plan_flattens_every_tuple() {
+        let scale = Scale::quick();
+        let studies = [
+            StudySpec {
+                name: "a",
+                agent: AgentSpec::Expert,
+                faults: input_fault_specs(),
+            },
+            StudySpec {
+                name: "b",
+                agent: AgentSpec::Expert,
+                faults: output_delay_specs(),
+            },
+        ];
+        let plan = plan_studies(&studies, scale);
+        assert_eq!(plan.total_campaigns(), 11);
+        assert_eq!(
+            plan.total_runs(),
+            11 * scale.scenarios * scale.runs,
+            "every (study, fault, scenario, repetition) tuple must be queued"
+        );
     }
 
     #[test]

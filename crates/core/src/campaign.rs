@@ -5,6 +5,7 @@
 //! run is fully self-contained and deterministic, so campaigns parallelize
 //! over worker threads without affecting results.
 
+use crate::engine::{Engine, ProgressSink, WorkPlan};
 use crate::fault::FaultSpec;
 use crate::harness::AvDriver;
 use avfi_agent::IlNetwork;
@@ -13,7 +14,6 @@ use avfi_sim::scenario::Scenario;
 use avfi_sim::violation::Violation;
 use avfi_sim::world::{MissionStatus, World};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Which agent a campaign drives.
@@ -115,7 +115,7 @@ pub struct CampaignConfig {
     pub fault: FaultSpec,
     /// The agent under test.
     pub agent: AgentSpec,
-    /// Worker threads (0 = one per available core, capped at 8).
+    /// Worker threads (0 = one per available core).
     pub parallelism: usize,
 }
 
@@ -196,6 +196,12 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
+    /// Assembles a result from runs already in (scenario, run) order (used
+    /// by the execution engine's deterministic reassembly).
+    pub(crate) fn from_runs(fault: String, agent: String, runs: Vec<RunResult>) -> Self {
+        CampaignResult { fault, agent, runs }
+    }
+
     /// All runs.
     pub fn runs(&self) -> &[RunResult] {
         &self.runs
@@ -231,51 +237,26 @@ impl Campaign {
 
     /// Executes every run (parallel over worker threads) and collects the
     /// results. Results are identical regardless of thread count.
+    ///
+    /// This is a single-campaign plan handed to the
+    /// [`Engine`](crate::engine::Engine); studies that run several
+    /// campaigns should build a [`WorkPlan`](crate::engine::WorkPlan)
+    /// instead so the queues merge and no cores idle between campaigns.
     pub fn run(&self) -> CampaignResult {
-        let cfg = &self.config;
-        let total = cfg.total_runs();
-        let workers = if cfg.parallelism > 0 {
-            cfg.parallelism
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(8)
-        };
-        let next = AtomicUsize::new(0);
-        let results: Vec<parking_lot::Mutex<Option<RunResult>>> =
-            (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
+        self.run_with(&crate::engine::NullSink)
+    }
 
-        crossbeam::scope(|scope| {
-            for _ in 0..workers.min(total).max(1) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
-                    }
-                    let scenario_index = i / cfg.runs_per_scenario;
-                    let run_index = i % cfg.runs_per_scenario;
-                    let result = run_single(
-                        &cfg.scenarios[scenario_index],
-                        scenario_index,
-                        run_index,
-                        &cfg.fault,
-                        &cfg.agent,
-                    );
-                    *results[i].lock() = Some(result);
-                });
-            }
-        })
-        .expect("campaign worker panicked");
-
-        CampaignResult {
-            fault: cfg.fault.label(),
-            agent: cfg.agent.name().to_string(),
-            runs: results
-                .into_iter()
-                .map(|m| m.into_inner().expect("all runs completed"))
-                .collect(),
-        }
+    /// Like [`Campaign::run`], streaming progress events into `sink`.
+    pub fn run_with(&self, sink: &dyn ProgressSink) -> CampaignResult {
+        let plan = WorkPlan::single("campaign", self.config.clone());
+        Engine::new()
+            .workers(self.config.parallelism)
+            .execute_with(&plan, sink)
+            .pop()
+            .expect("plan has one study")
+            .campaigns
+            .pop()
+            .expect("study has one campaign")
     }
 }
 

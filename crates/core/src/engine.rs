@@ -1,0 +1,573 @@
+//! Deterministic work-stealing execution engine for campaign studies.
+//!
+//! The paper's evaluation is campaign-*batches*: every figure sweeps fault
+//! models × scenarios × repetitions, and follow-up work (Jha et al., DSN
+//! 2019) motivates making such sweeps cheap enough to run thousands of
+//! experiments. A [`Campaign`](crate::campaign::Campaign) already shards
+//! its own runs across threads, but running campaigns one after another
+//! leaves cores idle at every campaign boundary (the straggler of each
+//! campaign serializes the whole study).
+//!
+//! This module flattens an entire [`WorkPlan`] — every (study × campaign ×
+//! scenario × repetition) tuple — into one shared work queue. Idle workers
+//! steal the next item from the queue regardless of which campaign it
+//! belongs to, so there are no barriers between campaigns and no idle
+//! tail until the very last item. Each item is tagged with its (study,
+//! campaign, run) indices and its result is written into a preassigned
+//! slot, so reassembled results are **bit-identical for any worker
+//! count** — scheduling affects only wall-clock, never output.
+//!
+//! Progress is streamed through a pluggable [`ProgressSink`]: runs
+//! completed, kilometers driven, violations so far, per-campaign
+//! completion, and per-worker utilization, so multi-hour campaigns are
+//! observable instead of silent. Event *ordering* follows scheduling and
+//! is therefore not deterministic; only the returned results are.
+
+use crate::campaign::{run_single, CampaignConfig, CampaignResult, RunResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One named group of campaigns (e.g. "fig2 input faults").
+#[derive(Debug, Clone)]
+pub struct StudyPlan {
+    /// Study name, echoed in results and progress events.
+    pub name: String,
+    /// The campaigns of the study, in output order.
+    pub campaigns: Vec<CampaignConfig>,
+}
+
+/// A complete execution plan: one or more studies, flattened by the
+/// engine into a single work-item queue.
+#[derive(Debug, Clone, Default)]
+pub struct WorkPlan {
+    studies: Vec<StudyPlan>,
+}
+
+impl WorkPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        WorkPlan::default()
+    }
+
+    /// A plan holding a single one-campaign study.
+    pub fn single(name: impl Into<String>, campaign: CampaignConfig) -> Self {
+        let mut plan = WorkPlan::new();
+        plan.add_study(name, vec![campaign]);
+        plan
+    }
+
+    /// Appends a study (builder style).
+    pub fn with_study(mut self, name: impl Into<String>, campaigns: Vec<CampaignConfig>) -> Self {
+        self.add_study(name, campaigns);
+        self
+    }
+
+    /// Appends a study.
+    pub fn add_study(&mut self, name: impl Into<String>, campaigns: Vec<CampaignConfig>) {
+        self.studies.push(StudyPlan {
+            name: name.into(),
+            campaigns,
+        });
+    }
+
+    /// The studies in the plan.
+    pub fn studies(&self) -> &[StudyPlan] {
+        &self.studies
+    }
+
+    /// Total number of campaigns across studies.
+    pub fn total_campaigns(&self) -> usize {
+        self.studies.iter().map(|s| s.campaigns.len()).sum()
+    }
+
+    /// Total number of runs across studies.
+    pub fn total_runs(&self) -> usize {
+        self.studies
+            .iter()
+            .flat_map(|s| &s.campaigns)
+            .map(CampaignConfig::total_runs)
+            .sum()
+    }
+}
+
+/// Results of one study: the campaigns in plan order.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StudyResult {
+    /// Study name from the plan.
+    pub name: String,
+    /// Campaign results, in the study's campaign order.
+    pub campaigns: Vec<CampaignResult>,
+}
+
+/// A progress event streamed by the engine while a plan executes.
+///
+/// Events are emitted from worker threads as work completes; their order
+/// is scheduling-dependent (only final results are deterministic).
+#[derive(Debug, Clone)]
+pub enum ProgressEvent {
+    /// Execution started.
+    Started {
+        /// Total runs in the flattened queue.
+        total_runs: usize,
+        /// Total campaigns across studies.
+        campaigns: usize,
+        /// Worker threads executing the queue.
+        workers: usize,
+    },
+    /// One run finished.
+    RunCompleted {
+        /// Study index within the plan.
+        study: usize,
+        /// Campaign index within the study.
+        campaign: usize,
+        /// Scenario index within the campaign.
+        scenario: usize,
+        /// Run index within the scenario.
+        run: usize,
+        /// Index of the worker that executed the run.
+        worker: usize,
+        /// Runs completed so far (including this one).
+        completed: usize,
+        /// Total runs in the queue.
+        total: usize,
+        /// Kilometers driven by this run.
+        km: f64,
+        /// Violations recorded by this run.
+        violations: usize,
+        /// Whether the mission succeeded.
+        success: bool,
+    },
+    /// Every run of one campaign finished.
+    CampaignCompleted {
+        /// Study index within the plan.
+        study: usize,
+        /// Campaign index within the study.
+        campaign: usize,
+        /// The campaign's fault label.
+        label: String,
+    },
+    /// The whole plan finished.
+    Finished {
+        /// Wall-clock seconds for the plan.
+        elapsed: f64,
+        /// Per-worker busy fraction (time executing runs / wall-clock),
+        /// one entry per worker.
+        utilization: Vec<f64>,
+        /// Total kilometers driven across all runs.
+        total_km: f64,
+        /// Total violations across all runs.
+        total_violations: usize,
+    },
+}
+
+/// Consumer of engine progress events.
+///
+/// Implementations are called concurrently from worker threads and must
+/// handle their own synchronization.
+pub trait ProgressSink: Sync {
+    /// Receives one event.
+    fn event(&self, event: &ProgressEvent);
+}
+
+/// Discards all events (the default sink).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl ProgressSink for NullSink {
+    fn event(&self, _event: &ProgressEvent) {}
+}
+
+/// Streams progress lines to stderr: a line every `every` completed runs
+/// plus campaign completions and a final utilization summary.
+#[derive(Debug)]
+pub struct StderrProgress {
+    every: usize,
+    totals: parking_lot::Mutex<(f64, usize)>,
+}
+
+impl StderrProgress {
+    /// Reports every `every` completed runs (minimum 1).
+    pub fn every(every: usize) -> Self {
+        StderrProgress {
+            every: every.max(1),
+            totals: parking_lot::Mutex::new((0.0, 0)),
+        }
+    }
+}
+
+impl Default for StderrProgress {
+    fn default() -> Self {
+        StderrProgress::every(1)
+    }
+}
+
+impl ProgressSink for StderrProgress {
+    fn event(&self, event: &ProgressEvent) {
+        match event {
+            ProgressEvent::Started {
+                total_runs,
+                campaigns,
+                workers,
+            } => eprintln!(
+                "[engine] {total_runs} runs across {campaigns} campaigns on {workers} workers"
+            ),
+            ProgressEvent::RunCompleted {
+                completed,
+                total,
+                km,
+                violations,
+                ..
+            } => {
+                let mut t = self.totals.lock();
+                t.0 += km;
+                t.1 += violations;
+                if completed % self.every == 0 || completed == total {
+                    eprintln!(
+                        "[engine] {completed}/{total} runs · {:.2} km · {} violations",
+                        t.0, t.1
+                    );
+                }
+            }
+            ProgressEvent::CampaignCompleted {
+                study,
+                campaign,
+                label,
+            } => eprintln!("[engine] campaign done: study {study} campaign {campaign} ({label})"),
+            ProgressEvent::Finished {
+                elapsed,
+                utilization,
+                total_km,
+                total_violations,
+            } => {
+                let util: Vec<String> = utilization
+                    .iter()
+                    .map(|u| format!("{:.0}%", u * 100.0))
+                    .collect();
+                eprintln!(
+                    "[engine] finished in {elapsed:.2} s · {total_km:.2} km · \
+                     {total_violations} violations · worker utilization [{}]",
+                    util.join(" ")
+                );
+            }
+        }
+    }
+}
+
+/// Collects every event (for tests and custom reporting).
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    events: parking_lot::Mutex<Vec<ProgressEvent>>,
+}
+
+impl CollectSink {
+    /// A new empty collector.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// Drains the collected events.
+    pub fn take(&self) -> Vec<ProgressEvent> {
+        std::mem::take(&mut self.events.lock())
+    }
+}
+
+impl ProgressSink for CollectSink {
+    fn event(&self, event: &ProgressEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// A flattened work item: one (study, campaign, scenario, run) tuple.
+#[derive(Debug, Clone, Copy)]
+struct WorkItem {
+    /// Study index within the plan.
+    study: usize,
+    /// Campaign index within the study.
+    campaign: usize,
+    /// Campaign index within the flattened campaign list.
+    flat_campaign: usize,
+    /// Scenario index within the campaign.
+    scenario: usize,
+    /// Run index within the scenario.
+    run: usize,
+}
+
+/// The execution engine: worker count plus plan execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Engine {
+    workers: usize,
+}
+
+impl Engine {
+    /// An engine with automatic worker count (one per available core).
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Sets the worker-thread count (0 = one per available core).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The worker count `execute` would use for `total` queued runs.
+    pub fn effective_workers(&self, total: usize) -> usize {
+        let auto = if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        };
+        auto.min(total).max(1)
+    }
+
+    /// Executes a plan silently.
+    pub fn execute(&self, plan: &WorkPlan) -> Vec<StudyResult> {
+        self.execute_with(plan, &NullSink)
+    }
+
+    /// Executes every run of `plan` across the worker pool, streaming
+    /// progress into `sink`, and reassembles results in plan order.
+    ///
+    /// Results are bit-identical for any worker count: each run derives
+    /// its seed from its (campaign template, scenario, run) coordinates
+    /// and lands in a preassigned slot.
+    pub fn execute_with(&self, plan: &WorkPlan, sink: &dyn ProgressSink) -> Vec<StudyResult> {
+        let campaigns: Vec<&CampaignConfig> =
+            plan.studies.iter().flat_map(|s| &s.campaigns).collect();
+        let mut items = Vec::with_capacity(plan.total_runs());
+        let mut flat = 0usize;
+        for (study_idx, study) in plan.studies.iter().enumerate() {
+            for (campaign_idx, cfg) in study.campaigns.iter().enumerate() {
+                for scenario in 0..cfg.scenarios.len() {
+                    for run in 0..cfg.runs_per_scenario {
+                        items.push(WorkItem {
+                            study: study_idx,
+                            campaign: campaign_idx,
+                            flat_campaign: flat,
+                            scenario,
+                            run,
+                        });
+                    }
+                }
+                flat += 1;
+            }
+        }
+        let total = items.len();
+        let workers = self.effective_workers(total);
+        sink.event(&ProgressEvent::Started {
+            total_runs: total,
+            campaigns: campaigns.len(),
+            workers,
+        });
+
+        let slots: Vec<parking_lot::Mutex<Option<RunResult>>> =
+            (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
+        let remaining: Vec<AtomicUsize> = campaigns
+            .iter()
+            .map(|c| AtomicUsize::new(c.total_runs()))
+            .collect();
+        let busy: Vec<parking_lot::Mutex<f64>> =
+            (0..workers).map(|_| parking_lot::Mutex::new(0.0)).collect();
+        let next = AtomicUsize::new(0);
+        let completed = AtomicUsize::new(0);
+        let started = Instant::now();
+
+        {
+            // Shared references for the worker closures.
+            let (items, campaigns, slots, remaining, busy, next, completed) = (
+                &items, &campaigns, &slots, &remaining, &busy, &next, &completed,
+            );
+            crossbeam::scope(|scope| {
+                for (worker, busy_slot) in busy.iter().enumerate() {
+                    scope.spawn(move |_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let item = items[i];
+                        let cfg = campaigns[item.flat_campaign];
+                        let t0 = Instant::now();
+                        let result = run_single(
+                            &cfg.scenarios[item.scenario],
+                            item.scenario,
+                            item.run,
+                            &cfg.fault,
+                            &cfg.agent,
+                        );
+                        *busy_slot.lock() += t0.elapsed().as_secs_f64();
+                        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                        sink.event(&ProgressEvent::RunCompleted {
+                            study: item.study,
+                            campaign: item.campaign,
+                            scenario: item.scenario,
+                            run: item.run,
+                            worker,
+                            completed: done,
+                            total,
+                            km: result.distance_km,
+                            violations: result.violations.len(),
+                            success: result.outcome.is_success(),
+                        });
+                        *slots[i].lock() = Some(result);
+                        if remaining[item.flat_campaign].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            sink.event(&ProgressEvent::CampaignCompleted {
+                                study: item.study,
+                                campaign: item.campaign,
+                                label: cfg.fault.label(),
+                            });
+                        }
+                    });
+                }
+            })
+            .expect("engine worker panicked");
+        }
+
+        let elapsed = started.elapsed().as_secs_f64();
+        let mut runs: Vec<RunResult> = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("all runs completed"))
+            .collect();
+        sink.event(&ProgressEvent::Finished {
+            elapsed,
+            utilization: busy
+                .iter()
+                .map(|b| (*b.lock() / elapsed.max(1e-12)).min(1.0))
+                .collect(),
+            total_km: runs.iter().map(|r| r.distance_km).sum(),
+            total_violations: runs.iter().map(|r| r.violations.len()).sum(),
+        });
+
+        // Deterministic reassembly: the queue was built in plan order, so
+        // draining it campaign by campaign restores (scenario, run) order
+        // within each campaign exactly as the sequential path produced.
+        let mut rest = runs.drain(..);
+        plan.studies
+            .iter()
+            .map(|study| StudyResult {
+                name: study.name.clone(),
+                campaigns: study
+                    .campaigns
+                    .iter()
+                    .map(|cfg| {
+                        CampaignResult::from_runs(
+                            cfg.fault.label(),
+                            cfg.agent.name().to_string(),
+                            rest.by_ref().take(cfg.total_runs()).collect(),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{AgentSpec, Campaign, CampaignConfig};
+    use crate::fault::timing::TimingFault;
+    use crate::fault::FaultSpec;
+    use avfi_sim::scenario::{Scenario, TownSpec};
+
+    fn quick_scenario(seed: u64) -> Scenario {
+        let mut town = TownSpec::grid(2, 2);
+        town.signalized = false;
+        Scenario::builder(town)
+            .seed(seed)
+            .npc_vehicles(0)
+            .pedestrians(0)
+            .time_budget(15.0)
+            .min_route_length(50.0)
+            .build()
+    }
+
+    fn campaign(seed: u64, fault: FaultSpec) -> CampaignConfig {
+        CampaignConfig::builder(vec![quick_scenario(seed), quick_scenario(seed + 1)])
+            .runs_per_scenario(2)
+            .fault(fault)
+            .agent(AgentSpec::Expert)
+            .build()
+    }
+
+    fn two_study_plan() -> WorkPlan {
+        WorkPlan::new()
+            .with_study("baseline", vec![campaign(40, FaultSpec::None)])
+            .with_study(
+                "timing",
+                vec![
+                    campaign(
+                        40,
+                        FaultSpec::Timing(TimingFault::OutputDelay { frames: 8 }),
+                    ),
+                    campaign(44, FaultSpec::None),
+                ],
+            )
+    }
+
+    #[test]
+    fn plan_counts() {
+        let plan = two_study_plan();
+        assert_eq!(plan.total_campaigns(), 3);
+        assert_eq!(plan.total_runs(), 12);
+    }
+
+    #[test]
+    fn engine_matches_sequential_campaigns() {
+        // The flattened queue must reproduce exactly what running each
+        // campaign through `Campaign::run` produces.
+        let plan = two_study_plan();
+        let engine = Engine::new().workers(3).execute(&plan);
+        for (study, plan_study) in engine.iter().zip(plan.studies()) {
+            for (got, cfg) in study.campaigns.iter().zip(&plan_study.campaigns) {
+                let want = Campaign::new(cfg.clone()).run();
+                assert_eq!(
+                    serde_json::to_string(got).unwrap(),
+                    serde_json::to_string(&want).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn progress_events_cover_every_run() {
+        let plan = two_study_plan();
+        let sink = CollectSink::new();
+        Engine::new().workers(2).execute_with(&plan, &sink);
+        let events = sink.take();
+        let runs = events
+            .iter()
+            .filter(|e| matches!(e, ProgressEvent::RunCompleted { .. }))
+            .count();
+        let campaigns = events
+            .iter()
+            .filter(|e| matches!(e, ProgressEvent::CampaignCompleted { .. }))
+            .count();
+        assert_eq!(runs, plan.total_runs());
+        assert_eq!(campaigns, plan.total_campaigns());
+        assert!(matches!(
+            events.first(),
+            Some(ProgressEvent::Started { .. })
+        ));
+        let finished = events.last().expect("finished event");
+        match finished {
+            ProgressEvent::Finished { utilization, .. } => {
+                assert_eq!(utilization.len(), 2);
+                for u in utilization {
+                    assert!((0.0..=1.0).contains(u));
+                }
+            }
+            other => panic!("last event should be Finished, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn effective_workers_clamps() {
+        assert_eq!(Engine::new().workers(8).effective_workers(3), 3);
+        assert_eq!(Engine::new().workers(2).effective_workers(100), 2);
+        assert!(Engine::new().effective_workers(100) >= 1);
+        assert_eq!(Engine::new().workers(5).effective_workers(0), 1);
+    }
+}

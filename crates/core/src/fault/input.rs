@@ -278,12 +278,16 @@ impl LidarFault {
     }
 }
 
-/// A complete data-fault plan: camera model, optional GPS/speed faults, and
-/// the trigger window.
+/// A complete data-fault plan: optional camera model, optional
+/// GPS/speed/LIDAR faults, and the trigger window.
+///
+/// The camera model is optional so scalar-only plans (GPS bias, stuck
+/// speedometer, LIDAR dropout) never touch — and therefore never copy —
+/// the camera image on the injection hot path.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InputFault {
-    /// Camera fault model.
-    pub model: ImageFault,
+    /// Camera fault model, if the plan corrupts the image.
+    pub model: Option<ImageFault>,
     /// Optional GPS corruption.
     pub gps: Option<GpsFault>,
     /// Optional speedometer corruption.
@@ -298,7 +302,7 @@ impl InputFault {
     /// A camera fault active for the entire run.
     pub fn always(model: ImageFault) -> Self {
         InputFault {
-            model,
+            model: Some(model),
             gps: None,
             speed: None,
             lidar: None,
@@ -309,11 +313,49 @@ impl InputFault {
     /// A camera fault active from a frame onward.
     pub fn from_frame(model: ImageFault, frame: u64) -> Self {
         InputFault {
-            model,
+            model: Some(model),
             gps: None,
             speed: None,
             lidar: None,
             trigger: Trigger::From { frame },
+        }
+    }
+
+    /// An always-active plan with no camera model; compose scalar channels
+    /// with [`InputFault::with_gps`], [`InputFault::with_speed`], and
+    /// [`InputFault::with_lidar`].
+    pub fn scalar_only() -> Self {
+        InputFault {
+            model: None,
+            gps: None,
+            speed: None,
+            lidar: None,
+            trigger: Trigger::Always,
+        }
+    }
+
+    /// Label for tables and plots: the camera model's paper axis label,
+    /// or the corrupted scalar channels joined with `+`.
+    pub fn label(&self) -> String {
+        match &self.model {
+            Some(model) => model.label().to_string(),
+            None => {
+                let mut parts: Vec<&str> = Vec::new();
+                if self.gps.is_some() {
+                    parts.push("gps");
+                }
+                if self.speed.is_some() {
+                    parts.push("speed");
+                }
+                if self.lidar.is_some() {
+                    parts.push("lidar");
+                }
+                if parts.is_empty() {
+                    "NoInject".to_string()
+                } else {
+                    parts.join("+")
+                }
+            }
         }
     }
 
@@ -487,6 +529,24 @@ mod tests {
         assert!(f.gps.is_some());
         assert!(f.speed.is_some());
         assert!(f.lidar.is_some());
+    }
+
+    #[test]
+    fn scalar_only_labels_name_the_channels() {
+        let f = InputFault::scalar_only()
+            .with_gps(GpsFault {
+                bias_x: 1.0,
+                bias_y: 0.0,
+                sigma: 0.5,
+            })
+            .with_speed(SpeedFault::StuckAt(0.0));
+        assert!(f.model.is_none());
+        assert_eq!(f.label(), "gps+speed");
+        assert_eq!(InputFault::scalar_only().label(), "NoInject");
+        assert_eq!(
+            InputFault::always(ImageFault::gaussian(0.1)).label(),
+            "Gaussian"
+        );
     }
 
     #[test]

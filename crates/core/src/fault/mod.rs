@@ -30,7 +30,7 @@ impl FaultSpec {
     pub fn label(&self) -> String {
         match self {
             FaultSpec::None => "NoInject".to_string(),
-            FaultSpec::Input(f) => f.model.label().to_string(),
+            FaultSpec::Input(f) => f.label(),
             FaultSpec::Hardware(f) => f.label(),
             FaultSpec::Timing(f) => f.label(),
             FaultSpec::Ml(f) => f.label(),

@@ -139,18 +139,22 @@ impl AvDriver {
         match &*spec {
             FaultSpec::Input(f) if f.trigger.is_active(frame, rng) => {
                 mark(injected_at_frame, frame);
-                let img = match scratch_image {
-                    Some(img) => {
-                        img.copy_from(&obs.sensors.image);
-                        img
-                    }
-                    None => scratch_image.insert(obs.sensors.image.clone()),
-                };
-                let layout = image_layout.get_or_insert_with(|| {
-                    ImageFaultLayout::sample(&f.model, img.width(), img.height(), rng)
-                });
-                f.model.apply(img, layout, rng);
-                input.image = img;
+                // Scalar-only plans (no camera model) skip the image copy
+                // entirely — the agent sees the world's own buffer.
+                if let Some(model) = &f.model {
+                    let img = match scratch_image {
+                        Some(img) => {
+                            img.copy_from(&obs.sensors.image);
+                            img
+                        }
+                        None => scratch_image.insert(obs.sensors.image.clone()),
+                    };
+                    let layout = image_layout.get_or_insert_with(|| {
+                        ImageFaultLayout::sample(model, img.width(), img.height(), rng)
+                    });
+                    model.apply(img, layout, rng);
+                    input.image = img;
+                }
                 if let Some(g) = &f.gps {
                     let p = &mut input.gps.position;
                     p.x += g.bias_x + avfi_sim::rng::normal(rng, 0.0, g.sigma);
@@ -335,6 +339,56 @@ mod tests {
         let a = clean.drive_frame(&obs, &w);
         let b = noisy.drive_frame(&obs, &w);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scalar_only_input_fault_skips_image_copy() {
+        // A GPS-only plan (camera model `None`) must never allocate or
+        // fill the scratch image/LIDAR buffers — the scalar path is
+        // copy-free, the same skip hardware faults get.
+        use crate::fault::input::GpsFault;
+        let mut w = world();
+        let spec = FaultSpec::Input(InputFault::scalar_only().with_gps(GpsFault {
+            bias_x: 25.0,
+            bias_y: -10.0,
+            sigma: 0.0,
+        }));
+        let mut drv = AvDriver::expert(spec, 7);
+        for _ in 0..8 {
+            let obs = w.observe();
+            let c = drv.drive_frame(&obs, &w);
+            w.step(c);
+        }
+        assert!(
+            drv.scratch_image.is_none(),
+            "gps-only fault must not copy the camera image"
+        );
+        assert!(drv.scratch_lidar.is_none());
+        assert_eq!(drv.injection_time(), Some(0.0));
+    }
+
+    #[test]
+    fn scalar_only_fault_leaves_image_untouched() {
+        // With a no-op scalar plan the neural agent must see the world's
+        // own (unmodified) camera buffer: its control matches the clean
+        // driver bit for bit. Under the old mandatory-model API every
+        // input fault corrupted the image.
+        use crate::fault::input::GpsFault;
+        let mut w = world();
+        let obs = w.observe();
+        let mk = || {
+            let mut n = IlNetwork::new(11);
+            IlNetwork::from_weights(&n.to_weights()).unwrap()
+        };
+        let mut clean = AvDriver::neural(mk(), FaultSpec::None, 5);
+        let noop = FaultSpec::Input(InputFault::scalar_only().with_gps(GpsFault {
+            bias_x: 0.0,
+            bias_y: 0.0,
+            sigma: 0.0,
+        }));
+        let mut scalar = AvDriver::neural(mk(), noop, 5);
+        assert_eq!(clean.drive_frame(&obs, &w), scalar.drive_frame(&obs, &w));
+        assert!(scalar.scratch_image.is_none());
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! Fault *location* selection lives in [`localizer`], *when* to inject in
 //! [`trigger`], and the wrapper that applies everything around a driving
 //! agent in [`harness`]. [`campaign`] runs seeded, parallel campaigns;
+//! [`engine`] flattens whole multi-campaign studies into one
+//! deterministic work-stealing queue with streamed
+//! [`engine::ProgressSink`] observability;
 //! [`metrics`] computes the paper's resilience metrics (MSR, VPK, APK,
 //! TTV); [`stats`] and [`report`] summarize and render results.
 //!
@@ -49,6 +52,7 @@
 
 pub mod campaign;
 pub mod compare;
+pub mod engine;
 pub mod fault;
 pub mod harness;
 pub mod localizer;
@@ -58,6 +62,7 @@ pub mod stats;
 pub mod trigger;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignResult, RunResult};
+pub use engine::{Engine, ProgressEvent, ProgressSink, StudyResult, WorkPlan};
 pub use fault::FaultSpec;
 pub use harness::AvDriver;
 pub use trigger::Trigger;

@@ -1,0 +1,87 @@
+//! The engine's scheduling must never leak into results: the same seeded
+//! multi-study plan must serialize to byte-identical JSON whether it runs
+//! on one worker or eight. Seeds are derived from (campaign seed,
+//! scenario index, run index), and results are reassembled into flat-plan
+//! order, so worker count and steal order are unobservable.
+
+use avfi_core::campaign::{AgentSpec, CampaignConfig};
+use avfi_core::fault::input::{GpsFault, ImageFault, InputFault};
+use avfi_core::fault::timing::TimingFault;
+use avfi_core::fault::FaultSpec;
+use avfi_core::{Engine, WorkPlan};
+use avfi_sim::scenario::{Scenario, TownSpec};
+
+fn scenarios() -> Vec<Scenario> {
+    (0..2u64)
+        .map(|i| {
+            let mut town = TownSpec::grid(2, 2);
+            town.signalized = false;
+            Scenario::builder(town)
+                .seed(900 + i)
+                .npc_vehicles(1)
+                .pedestrians(1)
+                .time_budget(10.0)
+                .min_route_length(40.0)
+                .build()
+        })
+        .collect()
+}
+
+fn campaign(fault: FaultSpec) -> CampaignConfig {
+    CampaignConfig::builder(scenarios())
+        .runs_per_scenario(2)
+        .fault(fault)
+        .agent(AgentSpec::Expert)
+        .build()
+}
+
+fn plan() -> WorkPlan {
+    WorkPlan::new()
+        .with_study(
+            "input-faults",
+            vec![
+                campaign(FaultSpec::None),
+                campaign(FaultSpec::Input(InputFault::always(ImageFault::gaussian(
+                    0.1,
+                )))),
+                campaign(FaultSpec::Input(InputFault::scalar_only().with_gps(
+                    GpsFault {
+                        bias_x: 4.0,
+                        bias_y: -3.0,
+                        sigma: 1.0,
+                    },
+                ))),
+            ],
+        )
+        .with_study(
+            "output-delay",
+            vec![campaign(FaultSpec::Timing(TimingFault::OutputDelay {
+                frames: 5,
+            }))],
+        )
+}
+
+#[test]
+fn one_worker_and_eight_workers_serialize_identically() {
+    let plan = plan();
+    assert_eq!(plan.total_campaigns(), 4);
+    assert_eq!(plan.total_runs(), 16);
+
+    let serial = Engine::new().workers(1).execute(&plan);
+    let stolen = Engine::new().workers(8).execute(&plan);
+
+    let serial_json = serde_json::to_string(&serial).expect("serializable");
+    let stolen_json = serde_json::to_string(&stolen).expect("serializable");
+    assert_eq!(
+        serial_json, stolen_json,
+        "worker count must not affect results"
+    );
+
+    // Sanity: results are real, not identically empty.
+    assert_eq!(serial.len(), 2);
+    assert_eq!(serial[0].campaigns.len(), 3);
+    assert!(serial.iter().flat_map(|s| &s.campaigns).all(|c| c
+        .runs()
+        .iter()
+        .all(|r| r.duration > 0.0 && r.distance_km.is_finite())));
+}

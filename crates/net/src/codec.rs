@@ -25,6 +25,18 @@ pub fn encode(msg: &Message, out: &mut BytesMut) -> Result<(), NetError> {
     Ok(())
 }
 
+/// Total length (prefix + payload) of the frame accumulating at the
+/// front of `buf`, once its length prefix has arrived and is within
+/// [`MAX_FRAME`]. Transports use it to size read windows so one syscall
+/// typically completes the frame.
+pub fn pending_frame_len(buf: &BytesMut) -> Option<usize> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    (len <= MAX_FRAME).then_some(4 + len)
+}
+
 /// Attempts to decode one message from the accumulation buffer.
 ///
 /// Returns `Ok(None)` when more bytes are needed; consumed bytes are
@@ -99,6 +111,21 @@ mod tests {
         assert_eq!(decode(&mut buf).unwrap().unwrap(), Message::Shutdown);
         assert_eq!(decode(&mut buf).unwrap().unwrap(), ctrl(3));
         assert!(decode(&mut buf).unwrap().is_none());
+    }
+
+    #[test]
+    fn pending_frame_len_reports_total() {
+        let mut buf = BytesMut::new();
+        assert_eq!(pending_frame_len(&buf), None);
+        encode(&ctrl(1), &mut buf).unwrap();
+        let total = buf.len();
+        assert_eq!(pending_frame_len(&buf), Some(total));
+        decode(&mut buf).unwrap().unwrap();
+        assert_eq!(pending_frame_len(&buf), None);
+        // An oversized prefix is not a plannable frame.
+        let mut bad = BytesMut::new();
+        bad.put_u32_le(u32::MAX);
+        assert_eq!(pending_frame_len(&bad), None);
     }
 
     #[test]

@@ -127,15 +127,29 @@ impl Transport for TcpTransport {
             if let Some(msg) = codec::decode(&mut self.inbox)? {
                 return Ok(msg);
             }
-            let mut chunk = [0u8; 16 * 1024];
-            let n = self.stream.read(&mut chunk)?;
-            if n == 0 {
+            // Read straight into the accumulation buffer: `read` fills
+            // `inbox`'s own tail, so bytes land exactly where `decode`
+            // consumes them — no intermediate stack chunk and no second
+            // copy on the wire path. When a length prefix is already
+            // buffered, size the read window to the rest of that frame so
+            // one syscall typically completes it.
+            let filled = self.inbox.len();
+            let want = codec::pending_frame_len(&self.inbox)
+                .map_or(READ_CHUNK, |total| (total - filled).max(READ_CHUNK));
+            self.inbox.resize(filled + want, 0);
+            let n = self.stream.read(&mut self.inbox[filled..]);
+            // Restore the buffer to exactly the received bytes before
+            // propagating any error, or decode would see garbage next call.
+            self.inbox.truncate(filled + n.as_ref().map_or(0, |&n| n));
+            if n? == 0 {
                 return Err(NetError::Disconnected);
             }
-            self.inbox.extend_from_slice(&chunk[..n]);
         }
     }
 }
+
+/// Read-window granularity for [`TcpTransport::recv`].
+const READ_CHUNK: usize = 16 * 1024;
 
 #[cfg(test)]
 mod tests {
@@ -185,6 +199,32 @@ mod tests {
         for i in 0..10 {
             c.send(ctrl(i)).unwrap();
             assert_eq!(c.recv().unwrap(), ctrl(i));
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_large_observation_frame_roundtrip() {
+        // Observation frames exceed one read window, so this exercises the
+        // direct-into-inbox accumulation across several reads.
+        use avfi_sim::scenario::{Scenario, TownSpec};
+        use avfi_sim::world::World;
+        let mut w = World::from_scenario(&Scenario::builder(TownSpec::grid(2, 2)).seed(3).build());
+        let msg = Message::Observation(Box::new(w.observe()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::new(stream).unwrap();
+            for _ in 0..3 {
+                let m = t.recv().unwrap();
+                t.send(m).unwrap();
+            }
+        });
+        let mut c = TcpTransport::connect(&addr.to_string()).unwrap();
+        for _ in 0..3 {
+            c.send(msg.clone()).unwrap();
+            assert_eq!(c.recv().unwrap(), msg);
         }
         server.join().unwrap();
     }

@@ -16,4 +16,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> smoke tier (scripts/smoke.sh)"
+scripts/smoke.sh
+
 echo "OK: all checks passed"

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Smoke tier: run every experiment binary at --quick scale on 2 workers and
+# diff the JSON each one emits against the checked-in goldens in
+# results/golden/. Catches any change that silently alters experiment
+# output — including nondeterminism introduced into the engine, since the
+# goldens were produced by the same seeded plans.
+#
+# Usage: scripts/smoke.sh [--bless]
+#   --bless   regenerate the goldens instead of diffing against them
+#
+# Goldens are reference-platform artifacts: the simulation is pure f64
+# arithmetic, deterministic on one platform/toolchain but not guaranteed
+# bit-identical across architectures.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BLESS=0
+[[ "${1:-}" == "--bless" ]] && BLESS=1
+
+BINARIES=(
+  fig2_mission_success
+  fig3_violations_per_km
+  fig4_output_delay
+  ext_a_apk
+  ext_b_ttv
+  ext_c_ml_faults
+  ext_d_hw_faults
+)
+
+GOLDEN_DIR=results/golden
+SMOKE_DIR=target/smoke-results
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR"
+
+echo "==> smoke: building bench binaries"
+cargo build --release -q -p avfi-bench
+
+fail=0
+for bin in "${BINARIES[@]}"; do
+  echo "==> smoke: $bin --quick --workers 2"
+  AVFI_RESULTS_DIR="$SMOKE_DIR" \
+    "target/release/$bin" --quick --workers 2 >"$SMOKE_DIR/$bin.stdout"
+  if [[ ! -f "$SMOKE_DIR/$bin.json" ]]; then
+    echo "smoke FAIL: $bin emitted no $SMOKE_DIR/$bin.json" >&2
+    fail=1
+    continue
+  fi
+  if [[ "$BLESS" == 1 ]]; then
+    mkdir -p "$GOLDEN_DIR"
+    cp "$SMOKE_DIR/$bin.json" "$GOLDEN_DIR/$bin.json"
+  elif ! diff -u "$GOLDEN_DIR/$bin.json" "$SMOKE_DIR/$bin.json"; then
+    echo "smoke FAIL: $bin output drifted from $GOLDEN_DIR/$bin.json" >&2
+    echo "  (if the change is intentional, rerun: scripts/smoke.sh --bless)" >&2
+    fail=1
+  fi
+done
+
+if [[ "$BLESS" == 1 ]]; then
+  echo "OK: goldens regenerated in $GOLDEN_DIR"
+elif [[ "$fail" == 0 ]]; then
+  echo "OK: smoke outputs match goldens"
+else
+  exit 1
+fi

@@ -62,6 +62,20 @@ impl BytesMut {
         self.start = 0;
     }
 
+    /// Resizes the readable region to `new_len`, filling any new tail
+    /// bytes with `value` (transports use this to `read` directly into
+    /// the buffer's own tail instead of staging through a scratch chunk).
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.buf.resize(self.start + new_len, value);
+    }
+
+    /// Shortens the readable region to `len`; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.buf.truncate(self.start + len);
+        }
+    }
+
     /// Splits off and returns the first `at` bytes.
     ///
     /// # Panics
@@ -216,6 +230,20 @@ mod tests {
         assert_eq!(&b[..], b" world");
         b.advance(1);
         assert_eq!(&b[..], b"world");
+    }
+
+    #[test]
+    fn resize_and_truncate_track_the_start_offset() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"abcdef");
+        b.advance(2); // readable: "cdef"
+        b.resize(6, 0);
+        assert_eq!(&b[..], b"cdef\0\0");
+        b[4] = b'x';
+        b.truncate(5);
+        assert_eq!(&b[..], b"cdefx");
+        b.truncate(99); // no-op
+        assert_eq!(b.len(), 5);
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //!
 //! Each benchmark runs a short warmup, then up to `sample_size` timed
 //! samples (bounded by a wall-clock budget so mission-length benchmarks
-//! stay tractable) and prints the median time per iteration. There are no
-//! HTML reports or statistical comparisons — just honest wall-clock
-//! medians on stdout.
+//! stay tractable) and prints the median time per iteration together with
+//! min, standard deviation, and a median-absolute-deviation noise bound
+//! (`1.4826 × MAD`, the robust σ estimate), so run-to-run deltas can be
+//! judged against measurement noise instead of eyeballed. There are no
+//! HTML reports or cross-run regression storage — just honest wall-clock
+//! statistics on stdout.
 
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -117,11 +120,59 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Robust summary of one benchmark's timed samples, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n = 1).
+    pub stddev_ns: f64,
+    /// Robust noise bound: `1.4826 × median(|xᵢ − median|)`, the
+    /// median-absolute-deviation estimate of σ. Deltas between runs
+    /// smaller than a few of these are indistinguishable from noise.
+    pub noise_ns: f64,
+}
+
+impl SampleStats {
+    /// Computes the summary of raw samples (need not be sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> SampleStats {
+        assert!(!samples.is_empty(), "stats need at least one sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let stddev = if sorted.len() > 1 {
+            (sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                / (sorted.len() - 1) as f64)
+                .sqrt()
+        } else {
+            0.0
+        };
+        let mut dev: Vec<f64> = sorted.iter().map(|x| (x - median).abs()).collect();
+        dev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        SampleStats {
+            samples: sorted.len(),
+            min_ns: sorted[0],
+            median_ns: median,
+            stddev_ns: stddev,
+            noise_ns: 1.4826 * dev[dev.len() / 2],
+        }
+    }
+}
+
 /// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
 #[derive(Debug)]
 pub struct Bencher {
-    /// Median nanoseconds per iteration, filled by `iter`.
-    median_ns: f64,
+    /// Sample summary, filled by `iter`.
+    stats: Option<SampleStats>,
     sample_size: usize,
 }
 
@@ -139,19 +190,17 @@ impl Bencher {
                 break;
             }
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        self.median_ns = samples[samples.len() / 2];
+        self.stats = Some(SampleStats::of(&samples));
+    }
+
+    /// The statistics of the last [`Bencher::iter`] call, if any.
+    pub fn stats(&self) -> Option<SampleStats> {
+        self.stats
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
-    let mut b = Bencher {
-        median_ns: f64::NAN,
-        sample_size,
-    };
-    f(&mut b);
-    let ns = b.median_ns;
-    let (value, unit) = if ns < 1e3 {
+fn scale(ns: f64) -> (f64, &'static str) {
+    if ns < 1e3 {
         (ns, "ns")
     } else if ns < 1e6 {
         (ns / 1e3, "µs")
@@ -159,8 +208,30 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
         (ns / 1e6, "ms")
     } else {
         (ns / 1e9, "s")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    let mut b = Bencher {
+        stats: None,
+        sample_size,
     };
-    println!("bench {name:<48} {value:>10.3} {unit}/iter");
+    f(&mut b);
+    let Some(s) = b.stats else {
+        println!("bench {name:<48}  (no samples — closure never called iter)");
+        return;
+    };
+    let (value, unit) = scale(s.median_ns);
+    // min/sd/mad share the median's unit so columns compare at a glance.
+    let div = s.median_ns / value.max(f64::MIN_POSITIVE);
+    println!(
+        "bench {name:<48} {value:>10.3} {unit}/iter  \
+         (n={}, min {:.3}, sd {:.3}, noise ±{:.3} {unit})",
+        s.samples,
+        s.min_ns / div,
+        s.stddev_ns / div,
+        s.noise_ns / div,
+    );
 }
 
 /// Declares a benchmark group: either `criterion_group!(name, fn, ...)` or
@@ -218,6 +289,37 @@ mod tests {
         g.bench_function(BenchmarkId::from_parameter("p1"), |b| b.iter(|| runs += 1));
         g.finish();
         assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn sample_stats_summarize_known_values() {
+        // Unsorted on purpose; median of 5 = 3rd smallest.
+        let s = SampleStats::of(&[5.0, 1.0, 9.0, 3.0, 7.0]);
+        assert_eq!(s.samples, 5);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.median_ns, 5.0);
+        // Mean 5, squared deviations 16+4+0+4+16 = 40, /4 → sqrt(10).
+        assert!((s.stddev_ns - 10.0f64.sqrt()).abs() < 1e-12);
+        // |x−5| sorted: 0,2,2,4,4 → MAD 2 → noise 2.9652.
+        assert!((s.noise_ns - 1.4826 * 2.0).abs() < 1e-12);
+
+        let one = SampleStats::of(&[42.0]);
+        assert_eq!(one.stddev_ns, 0.0);
+        assert_eq!(one.noise_ns, 0.0);
+        assert_eq!(one.min_ns, 42.0);
+        assert_eq!(one.median_ns, 42.0);
+    }
+
+    #[test]
+    fn bencher_exposes_stats() {
+        let mut c = Criterion::default().sample_size(4);
+        c.bench_function("stats", |b| {
+            b.iter(|| 2 + 2);
+            let s = b.stats().expect("iter fills stats");
+            assert_eq!(s.samples, 4);
+            assert!(s.min_ns <= s.median_ns);
+            assert!(s.noise_ns >= 0.0);
+        });
     }
 
     #[test]
