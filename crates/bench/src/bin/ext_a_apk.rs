@@ -5,7 +5,8 @@
 //! for the same campaigns as Figures 2/3.
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin ext_a_apk [--quick]
-//! [--workers N] [--progress]`
+//! [--workers N] [--progress]
+//! [--trace DIR] [--trace-level off|summary|blackbox]`
 
 use avfi_bench::experiments::{export_json, input_fault_study, ExecOptions, Scale};
 use avfi_core::{metrics, report, stats};

@@ -7,7 +7,8 @@
 //! the TTV distribution.
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin ext_b_ttv [--quick]
-//! [--workers N] [--progress]`
+//! [--workers N] [--progress]
+//! [--trace DIR] [--trace-level off|summary|blackbox]`
 
 use avfi_bench::experiments::{export_json, neural_agent, run_study, ExecOptions, Scale};
 use avfi_core::fault::input::{ImageFault, InputFault};

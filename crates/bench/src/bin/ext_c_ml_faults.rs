@@ -7,7 +7,8 @@
 //! IL-CNN and reports MSR and VPK per configuration.
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin ext_c_ml_faults
-//! [--quick] [--workers N] [--progress]`
+//! [--quick] [--workers N] [--progress]
+//! [--trace DIR] [--trace-level off|summary|blackbox]`
 
 use avfi_bench::experiments::{export_json, neural_agent, run_study, ExecOptions, Scale};
 use avfi_core::fault::ml::MlFault;

@@ -6,7 +6,8 @@
 //! forward it to the server."
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin ext_d_hw_faults
-//! [--quick] [--workers N] [--progress]`
+//! [--quick] [--workers N] [--progress]
+//! [--trace DIR] [--trace-level off|summary|blackbox]`
 
 use avfi_bench::experiments::{export_json, neural_agent, run_study, ExecOptions, Scale};
 use avfi_core::fault::hardware::{BitFaultModel, HardwareFault, HardwareTarget};

@@ -2,7 +2,8 @@
 //! with different input fault injectors.
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin fig2_mission_success
-//! [--quick] [--workers N] [--progress]`
+//! [--quick] [--workers N] [--progress]
+//! [--trace DIR] [--trace-level off|summary|blackbox]`
 
 use avfi_bench::experiments::{export_json, input_fault_study, render_fig2, ExecOptions, Scale};
 

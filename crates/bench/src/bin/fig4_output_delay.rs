@@ -5,7 +5,8 @@
 //! 2 s between decision and actuation — the paper's headline observation.
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin fig4_output_delay
-//! [--quick] [--workers N] [--progress]`
+//! [--quick] [--workers N] [--progress]
+//! [--trace DIR] [--trace-level off|summary|blackbox]`
 
 use avfi_bench::experiments::{export_json, output_delay_study, render_fig4, ExecOptions, Scale};
 

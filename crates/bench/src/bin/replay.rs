@@ -1,0 +1,117 @@
+//! Deterministic run replay: re-execute recorded runs from their flight
+//! recorder traces and verify bit-identity frame by frame.
+//!
+//! Usage: `cargo run --release -p avfi-bench --bin replay -- <TRACE>...`
+//! where each `TRACE` is a `.avtr` file or a directory of them. Options:
+//!
+//! * `--weights PATH` — serialized IL-CNN weights for neural traces
+//!   (defaults to the cached deterministic training run when needed).
+//!
+//! Exit status is nonzero when any trace fails to decode, cannot be
+//! replayed, or replays with a divergence.
+
+use avfi_bench::experiments::trained_weights;
+use avfi_core::replay::{replay_trace, ReplayVerdict};
+use avfi_trace::{list_trace_files, read_trace_file};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut weights_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--weights" => weights_path = args.next().map(PathBuf::from),
+            _ => inputs.push(PathBuf::from(arg)),
+        }
+    }
+    if inputs.is_empty() {
+        eprintln!("usage: replay [--weights PATH] <trace file or dir>...");
+        return ExitCode::from(2);
+    }
+
+    let mut files = Vec::new();
+    for input in inputs {
+        if input.is_dir() {
+            match list_trace_files(&input) {
+                Ok(found) => files.extend(found),
+                Err(e) => {
+                    eprintln!("[replay] cannot list {}: {e}", input.display());
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            files.push(input);
+        }
+    }
+    if files.is_empty() {
+        eprintln!("[replay] no .avtr files found");
+        return ExitCode::from(2);
+    }
+
+    let explicit_weights = weights_path.map(|p| match std::fs::read(&p) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("[replay] cannot read weights {}: {e}", p.display());
+            std::process::exit(2);
+        }
+    });
+
+    let (mut matched, mut failed) = (0usize, 0usize);
+    for path in &files {
+        let trace = match read_trace_file(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("[replay] {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        // Neural traces need weights; the cached deterministic training
+        // run is the default source (its fingerprint is verified anyway).
+        let cached;
+        let weights: Option<&[u8]> = if trace.header.agent == "il-cnn" {
+            match &explicit_weights {
+                Some(w) => Some(w),
+                None => {
+                    cached = trained_weights();
+                    Some(cached.as_slice())
+                }
+            }
+        } else {
+            None
+        };
+        match replay_trace(&trace, weights) {
+            Ok(ReplayVerdict::Match {
+                frames_checked,
+                events_checked,
+            }) => {
+                matched += 1;
+                println!(
+                    "{}: MATCH ({} frames, {} events bit-identical)",
+                    path.display(),
+                    frames_checked,
+                    events_checked
+                );
+            }
+            Ok(ReplayVerdict::Diverged(d)) => {
+                failed += 1;
+                println!("{}: DIVERGED at {d}", path.display());
+            }
+            Err(e) => {
+                failed += 1;
+                println!("{}: ERROR {e}", path.display());
+            }
+        }
+    }
+    println!(
+        "[replay] {matched}/{} traces replayed bit-identically",
+        files.len()
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,50 @@
+//! Failure triage over a directory of flight-recorder traces: which
+//! injection causally preceded each first violation, fault-activation
+//! latency, and violation-kind histograms, grouped per campaign.
+//!
+//! Usage: `cargo run --release -p avfi-bench --bin triage -- <TRACE-DIR>
+//! [--out FILE.json]` — prints the per-campaign triage tables and
+//! optionally writes the machine-readable report (golden-diff friendly).
+
+use avfi_core::triage::TriageReport;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut dir: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().map(PathBuf::from),
+            _ => dir = Some(PathBuf::from(arg)),
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("usage: triage <trace-dir> [--out FILE.json]");
+        return ExitCode::from(2);
+    };
+
+    let report = match TriageReport::from_dir(&dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[triage] cannot triage {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "[triage] {} traces read, {} campaign(s) with failures",
+        report.traces_read,
+        report.campaigns.len()
+    );
+    print!("{}", report.render());
+    if let Some(path) = out {
+        let json = report.to_json().expect("report serializes");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("[triage] cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("[triage] wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -11,13 +11,14 @@
 
 use avfi_agent::train::train_default_agent;
 use avfi_core::campaign::{AgentSpec, Campaign, CampaignConfig, CampaignResult};
-use avfi_core::engine::{Engine, StderrProgress, StudyResult, WorkPlan};
+use avfi_core::engine::{Engine, StderrProgress, StudyResult, TraceConfig, WorkPlan};
 use avfi_core::fault::input::{ImageFault, InputFault};
 use avfi_core::fault::timing::TimingFault;
 use avfi_core::fault::FaultSpec;
 use avfi_core::{metrics, report, stats};
 use avfi_sim::scenario::{Scenario, TownSpec};
 use avfi_sim::weather::Weather;
+use avfi_trace::TraceLevel;
 use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
 
@@ -63,18 +64,24 @@ impl Scale {
 }
 
 /// Engine execution options shared by every experiment binary:
-/// `--workers N` (0 = one per core) and `--progress` (stream engine
-/// events to stderr).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// `--workers N` (0 = one per core), `--progress` (stream engine events
+/// to stderr), and the flight recorder (`--trace DIR` plus
+/// `--trace-level off|summary|blackbox`).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecOptions {
     /// Engine worker threads (0 = one per available core).
     pub workers: usize,
     /// Stream progress events to stderr.
     pub progress: bool,
+    /// Flight-recorder trace directory (`None` disables tracing).
+    pub trace: Option<PathBuf>,
+    /// Flight-recorder detail level (meaningful only with `trace`).
+    pub trace_level: TraceLevel,
 }
 
 impl ExecOptions {
-    /// Parses `--workers N` and `--progress` from argv.
+    /// Parses `--workers N`, `--progress`, `--trace DIR`, and
+    /// `--trace-level LEVEL` from argv.
     pub fn from_args() -> ExecOptions {
         Self::parse(std::env::args())
     }
@@ -88,6 +95,19 @@ impl ExecOptions {
                     opts.workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
                 }
                 "--progress" => opts.progress = true,
+                "--trace" => {
+                    opts.trace = args.next().map(PathBuf::from);
+                    // `--trace` alone means "record": default to blackbox
+                    // unless a level was (or will be) given explicitly.
+                    if opts.trace_level == TraceLevel::Off {
+                        opts.trace_level = TraceLevel::Blackbox;
+                    }
+                }
+                "--trace-level" => {
+                    if let Some(level) = args.next().as_deref().and_then(TraceLevel::parse) {
+                        opts.trace_level = level;
+                    }
+                }
                 _ => {}
             }
         }
@@ -96,7 +116,10 @@ impl ExecOptions {
 
     /// Executes a work plan through the engine with these options.
     pub fn execute(&self, plan: &WorkPlan) -> Vec<StudyResult> {
-        let engine = Engine::new().workers(self.workers);
+        let mut engine = Engine::new().workers(self.workers);
+        if let Some(dir) = &self.trace {
+            engine = engine.with_trace(TraceConfig::new(dir, self.trace_level));
+        }
         if self.progress {
             engine.execute_with(plan, &StderrProgress::default())
         } else {
@@ -480,7 +503,8 @@ mod tests {
             ExecOptions::parse(args(&["bin", "--workers", "6", "--progress"]).into_iter()),
             ExecOptions {
                 workers: 6,
-                progress: true
+                progress: true,
+                ..ExecOptions::default()
             }
         );
         assert_eq!(
@@ -492,6 +516,30 @@ mod tests {
             ExecOptions::parse(args(&["bin", "--workers", "lots"]).into_iter()).workers,
             0
         );
+    }
+
+    #[test]
+    fn exec_options_parse_trace_flags() {
+        let args = |v: &[&str]| {
+            v.iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .into_iter()
+        };
+        // `--trace` alone defaults to blackbox.
+        let o = ExecOptions::parse(args(&["bin", "--trace", "traces/"]));
+        assert_eq!(o.trace.as_deref(), Some(std::path::Path::new("traces/")));
+        assert_eq!(o.trace_level, TraceLevel::Blackbox);
+        // An explicit level wins regardless of flag order.
+        let o = ExecOptions::parse(args(&["bin", "--trace", "t", "--trace-level", "summary"]));
+        assert_eq!(o.trace_level, TraceLevel::Summary);
+        let o = ExecOptions::parse(args(&["bin", "--trace-level", "summary", "--trace", "t"]));
+        assert_eq!(o.trace_level, TraceLevel::Summary);
+        // `off` disables even with a directory given.
+        let o = ExecOptions::parse(args(&["bin", "--trace", "t", "--trace-level", "off"]));
+        assert_eq!(o.trace_level, TraceLevel::Off);
+        // No trace flags: recorder stays off.
+        assert_eq!(ExecOptions::default().trace, None);
     }
 
     #[test]

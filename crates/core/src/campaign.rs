@@ -9,10 +9,12 @@ use crate::engine::{Engine, ProgressSink, WorkPlan};
 use crate::fault::FaultSpec;
 use crate::harness::AvDriver;
 use avfi_agent::IlNetwork;
+use avfi_sim::recorder::Recorder;
 use avfi_sim::rng::split_seed;
 use avfi_sim::scenario::Scenario;
 use avfi_sim::violation::Violation;
 use avfi_sim::world::{MissionStatus, World};
+use avfi_trace::{RunTrace, TraceEvent, TraceHeader, TraceLevel, TraceSummary};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -65,6 +67,15 @@ impl MissionOutcome {
     /// `true` on success.
     pub fn is_success(self) -> bool {
         matches!(self, MissionOutcome::Success { .. })
+    }
+
+    /// Outcome name for traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MissionOutcome::Success { .. } => "success",
+            MissionOutcome::Timeout => "timeout",
+            MissionOutcome::Stuck => "stuck",
+        }
     }
 }
 
@@ -258,6 +269,136 @@ impl Campaign {
             .pop()
             .expect("study has one campaign")
     }
+}
+
+/// What the flight recorder should capture for a traced run.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Detail level (`Off` callers should use [`run_single`] instead).
+    pub level: TraceLevel,
+    /// Study name recorded in trace headers.
+    pub study: String,
+    /// Black-box ring capacity, frames.
+    pub blackbox_frames: usize,
+    /// Fingerprint of the neural agent's weights, when neural.
+    pub weights_fingerprint: Option<u64>,
+}
+
+/// Executes one fault-injected mission with the flight recorder on.
+///
+/// The [`RunResult`] is bit-identical to what [`run_single`] produces —
+/// recording only observes the run. The second return is the trace to
+/// persist: at `Summary` level every run yields one (events only); at
+/// `Blackbox` level only *failed* runs do (with the ring's frame window),
+/// so campaign-scale disk stays proportional to failures.
+///
+/// `recorder` is the caller's reusable capture buffer (one per worker):
+/// it is reset, used, and handed back with its allocation intact.
+pub fn run_single_traced(
+    template: &Scenario,
+    scenario_index: usize,
+    run_index: usize,
+    fault: &FaultSpec,
+    agent: &AgentSpec,
+    trace: &TraceSpec,
+    recorder: &mut Recorder,
+) -> (RunResult, Option<RunTrace>) {
+    let mut scenario = template.clone();
+    scenario.seed = split_seed(
+        template.seed,
+        ((scenario_index as u64) << 32) | (run_index as u64 + 1),
+    );
+    let mut world = World::from_scenario(&scenario);
+    let blackbox = trace.level == TraceLevel::Blackbox;
+    if blackbox {
+        recorder.reset();
+        world.install_recorder(std::mem::take(recorder));
+    }
+    let mut driver = match agent {
+        AgentSpec::Expert => AvDriver::expert(fault.clone(), scenario.seed),
+        AgentSpec::Neural { weights } => {
+            let net = IlNetwork::from_weights(weights).expect("valid campaign weights");
+            AvDriver::neural(net, fault.clone(), scenario.seed)
+        }
+    };
+    driver.enable_event_log();
+    let mut obs = world.observe();
+    loop {
+        let control = driver.drive_frame(&obs, &world);
+        if world.step(control).is_terminal() {
+            break;
+        }
+        world.observe_into(&mut obs);
+    }
+    if blackbox {
+        *recorder = world.take_recorder();
+    }
+
+    let result = RunResult {
+        fault: fault.label(),
+        agent: driver.agent_name().to_string(),
+        scenario_index,
+        run_index,
+        seed: scenario.seed,
+        outcome: world.mission().into(),
+        duration: world.time(),
+        distance_km: world.odometer() / 1000.0,
+        violations: world.monitor().events().to_vec(),
+        injection_time: driver.injection_time(),
+    };
+
+    let (mut events, dropped_events) = driver.take_events();
+    events.extend(result.violations.iter().map(|v| TraceEvent::Violation {
+        frame: v.frame,
+        time: v.time,
+        kind: v.kind,
+        x: v.position.x,
+        y: v.position.y,
+        odometer: v.odometer,
+    }));
+    // Stable by frame: harness events keep their order, violations land
+    // after same-frame injections (cause before effect).
+    events.sort_by_key(TraceEvent::frame);
+
+    let run_trace = RunTrace {
+        header: TraceHeader {
+            study: trace.study.clone(),
+            fault: result.fault.clone(),
+            agent: result.agent.clone(),
+            scenario_index,
+            run_index,
+            seed: scenario.seed,
+            scenario: template.clone(),
+            fault_spec_json: serde_json::to_string(fault).expect("fault spec serializes"),
+            weights_fingerprint: trace.weights_fingerprint,
+            level: trace.level,
+            blackbox_frames: if blackbox { trace.blackbox_frames } else { 0 },
+        },
+        summary: TraceSummary {
+            success: result.outcome.is_success(),
+            outcome: result.outcome.name().to_string(),
+            duration: result.duration,
+            distance_km: result.distance_km,
+            violations: result.violations.len(),
+            injection_time: result.injection_time,
+        },
+        events,
+        frames: if blackbox {
+            recorder.chronological().copied().collect()
+        } else {
+            Vec::new()
+        },
+        dropped_frames: if blackbox { recorder.dropped() } else { 0 },
+        dropped_events,
+    };
+    // Black-box semantics: the ring is flushed to disk only when the run
+    // failed; summary traces are cheap enough to keep for every run.
+    let emit = match trace.level {
+        TraceLevel::Off => false,
+        TraceLevel::Summary => true,
+        TraceLevel::Blackbox => run_trace.is_failure(),
+    };
+    (result, emit.then_some(run_trace))
 }
 
 /// Executes one fault-injected mission.

@@ -23,7 +23,13 @@
 //! observable instead of silent. Event *ordering* follows scheduling and
 //! is therefore not deterministic; only the returned results are.
 
-use crate::campaign::{run_single, CampaignConfig, CampaignResult, RunResult};
+use crate::campaign::{
+    run_single, run_single_traced, AgentSpec, CampaignConfig, CampaignResult, RunResult, TraceSpec,
+};
+use avfi_sim::recorder::Recorder;
+use avfi_sim::FRAME_DT;
+use avfi_trace::TraceLevel;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -292,10 +298,40 @@ struct WorkItem {
     run: usize,
 }
 
-/// The execution engine: worker count plus plan execution.
-#[derive(Debug, Clone, Copy, Default)]
+/// Flight-recorder configuration for an engine execution.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Directory trace files are written into (created on demand).
+    pub dir: PathBuf,
+    /// Detail level ([`TraceLevel::Off`] disables tracing entirely).
+    pub level: TraceLevel,
+    /// Black-box window length: the ring keeps the last this-many seconds
+    /// of frames per run.
+    pub blackbox_seconds: f64,
+}
+
+impl TraceConfig {
+    /// A config at `level` writing into `dir`, with the default 30 s
+    /// black-box window.
+    pub fn new(dir: impl Into<PathBuf>, level: TraceLevel) -> Self {
+        TraceConfig {
+            dir: dir.into(),
+            level,
+            blackbox_seconds: 30.0,
+        }
+    }
+
+    /// The black-box window in frames (at least 1).
+    pub fn blackbox_frames(&self) -> usize {
+        ((self.blackbox_seconds / FRAME_DT).ceil() as usize).max(1)
+    }
+}
+
+/// The execution engine: worker count, optional tracing, plan execution.
+#[derive(Debug, Clone, Default)]
 pub struct Engine {
     workers: usize,
+    trace: Option<TraceConfig>,
 }
 
 impl Engine {
@@ -308,6 +344,15 @@ impl Engine {
     #[must_use]
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Turns on the flight recorder. Trace files are routed by **flat
+    /// plan index** (`run-000042.avtr` = the 43rd item of the flattened
+    /// queue), so the emitted file set is identical for any worker count.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -363,6 +408,28 @@ impl Engine {
             workers,
         });
 
+        // Per-flat-campaign trace specs (study name + weights fingerprint
+        // are campaign-level facts; computing them once here keeps them
+        // off the per-run path).
+        let trace_cfg = self.trace.as_ref().filter(|t| t.level != TraceLevel::Off);
+        let trace_specs: Option<Vec<TraceSpec>> = trace_cfg.map(|tc| {
+            plan.studies
+                .iter()
+                .flat_map(|study| {
+                    study.campaigns.iter().map(|cfg| TraceSpec {
+                        level: tc.level,
+                        study: study.name.clone(),
+                        blackbox_frames: tc.blackbox_frames(),
+                        weights_fingerprint: match &cfg.agent {
+                            AgentSpec::Neural { weights } => Some(avfi_trace::fingerprint(weights)),
+                            AgentSpec::Expert => None,
+                        },
+                    })
+                })
+                .collect()
+        });
+        let trace_specs = trace_specs.as_deref();
+
         let slots: Vec<parking_lot::Mutex<Option<RunResult>>> =
             (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
         let remaining: Vec<AtomicUsize> = campaigns
@@ -382,42 +449,72 @@ impl Engine {
             );
             crossbeam::scope(|scope| {
                 for (worker, busy_slot) in busy.iter().enumerate() {
-                    scope.spawn(move |_| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= total {
-                            break;
-                        }
-                        let item = items[i];
-                        let cfg = campaigns[item.flat_campaign];
-                        let t0 = Instant::now();
-                        let result = run_single(
-                            &cfg.scenarios[item.scenario],
-                            item.scenario,
-                            item.run,
-                            &cfg.fault,
-                            &cfg.agent,
-                        );
-                        *busy_slot.lock() += t0.elapsed().as_secs_f64();
-                        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                        sink.event(&ProgressEvent::RunCompleted {
-                            study: item.study,
-                            campaign: item.campaign,
-                            scenario: item.scenario,
-                            run: item.run,
-                            worker,
-                            completed: done,
-                            total,
-                            km: result.distance_km,
-                            violations: result.violations.len(),
-                            success: result.outcome.is_success(),
-                        });
-                        *slots[i].lock() = Some(result);
-                        if remaining[item.flat_campaign].fetch_sub(1, Ordering::AcqRel) == 1 {
-                            sink.event(&ProgressEvent::CampaignCompleted {
+                    scope.spawn(move |_| {
+                        // One reusable capture buffer per worker: the ring
+                        // is allocated once and reset between runs.
+                        let mut recorder = match trace_cfg {
+                            Some(tc) if tc.level == TraceLevel::Blackbox => {
+                                Recorder::ring(tc.blackbox_frames())
+                            }
+                            _ => Recorder::new(false),
+                        };
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= total {
+                                break;
+                            }
+                            let item = items[i];
+                            let cfg = campaigns[item.flat_campaign];
+                            let t0 = Instant::now();
+                            let result = match (trace_cfg, trace_specs) {
+                                (Some(tc), Some(specs)) => {
+                                    let (result, trace) = run_single_traced(
+                                        &cfg.scenarios[item.scenario],
+                                        item.scenario,
+                                        item.run,
+                                        &cfg.fault,
+                                        &cfg.agent,
+                                        &specs[item.flat_campaign],
+                                        &mut recorder,
+                                    );
+                                    if let Some(trace) = &trace {
+                                        avfi_trace::write_trace_file(&tc.dir, i, trace)
+                                            .unwrap_or_else(|e| {
+                                                panic!("cannot write trace for run {i}: {e}")
+                                            });
+                                    }
+                                    result
+                                }
+                                _ => run_single(
+                                    &cfg.scenarios[item.scenario],
+                                    item.scenario,
+                                    item.run,
+                                    &cfg.fault,
+                                    &cfg.agent,
+                                ),
+                            };
+                            *busy_slot.lock() += t0.elapsed().as_secs_f64();
+                            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                            sink.event(&ProgressEvent::RunCompleted {
                                 study: item.study,
                                 campaign: item.campaign,
-                                label: cfg.fault.label(),
+                                scenario: item.scenario,
+                                run: item.run,
+                                worker,
+                                completed: done,
+                                total,
+                                km: result.distance_km,
+                                violations: result.violations.len(),
+                                success: result.outcome.is_success(),
                             });
+                            *slots[i].lock() = Some(result);
+                            if remaining[item.flat_campaign].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                sink.event(&ProgressEvent::CampaignCompleted {
+                                    study: item.study,
+                                    campaign: item.campaign,
+                                    label: cfg.fault.label(),
+                                });
+                            }
                         }
                     });
                 }

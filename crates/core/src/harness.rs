@@ -16,7 +16,54 @@ use avfi_sim::rng::stream_rng;
 use avfi_sim::sensors::{Image, LidarScan};
 use avfi_sim::world::{World, WorldObservation};
 use avfi_sim::FRAME_DT;
+use avfi_trace::{FaultChannel, TraceEvent};
 use rand::rngs::StdRng;
+
+/// Per-run cap on logged fault events; intermittent triggers flapping
+/// every frame would otherwise grow the log with the run length.
+const MAX_TRACE_EVENTS: usize = 4096;
+
+/// Onset-debounced log of the harness's fault activity for the flight
+/// recorder: one [`TraceEvent::TriggerFired`] when the plan first becomes
+/// active, one [`TraceEvent::Injection`] per channel per contiguous
+/// active episode.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    trigger_fired: bool,
+    /// Whether each channel (in [`FaultChannel::ALL`] order) was active
+    /// on the previous frame — the debounce state.
+    prev: [bool; FaultChannel::ALL.len()],
+}
+
+impl EventLog {
+    fn push(&mut self, event: TraceEvent) {
+        if self.events.len() < MAX_TRACE_EVENTS {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Folds one frame's channel-activity flags into the log, emitting
+    /// events only on rising edges.
+    fn frame_end(&mut self, frame: u64, active: [bool; FaultChannel::ALL.len()]) {
+        if !self.trigger_fired && active.iter().any(|&a| a) {
+            self.trigger_fired = true;
+            self.push(TraceEvent::TriggerFired { frame });
+        }
+        for (i, &now) in active.iter().enumerate() {
+            if now && !self.prev[i] {
+                self.push(TraceEvent::Injection {
+                    frame,
+                    channel: FaultChannel::ALL[i],
+                });
+            }
+            self.prev[i] = now;
+        }
+    }
+}
 
 enum Inner {
     Expert(ExpertDriver),
@@ -47,6 +94,9 @@ pub struct AvDriver {
     scratch_image: Option<Image>,
     /// Reused buffer for the fault-injected LIDAR sweep.
     scratch_lidar: Option<LidarScan>,
+    /// Flight-recorder event log; `None` (the default) keeps the hot
+    /// path free of any tracing work.
+    event_log: Option<EventLog>,
 }
 
 impl AvDriver {
@@ -87,6 +137,33 @@ impl AvDriver {
             injected_at_frame: None,
             scratch_image: None,
             scratch_lidar: None,
+            event_log: None,
+        }
+    }
+
+    /// Turns on flight-recorder event logging. An ML fault is applied at
+    /// construction, so its trigger/injection pair is backfilled at frame
+    /// 0 here (the per-frame path never sees it activate).
+    pub fn enable_event_log(&mut self) {
+        let mut log = EventLog::default();
+        if matches!(self.spec, FaultSpec::Ml(_)) {
+            log.trigger_fired = true;
+            log.prev[FaultChannel::Ml as usize] = true;
+            log.push(TraceEvent::TriggerFired { frame: 0 });
+            log.push(TraceEvent::Injection {
+                frame: 0,
+                channel: FaultChannel::Ml,
+            });
+        }
+        self.event_log = Some(log);
+    }
+
+    /// Takes the logged fault events (in frame order) and the count of
+    /// events dropped past the cap. Logging stops until re-enabled.
+    pub fn take_events(&mut self) -> (Vec<TraceEvent>, u64) {
+        match self.event_log.take() {
+            Some(log) => (log.events, log.dropped),
+            None => (Vec::new(), 0),
         }
     }
 
@@ -124,12 +201,17 @@ impl AvDriver {
             injected_at_frame,
             scratch_image,
             scratch_lidar,
+            event_log,
         } = self;
         fn mark(slot: &mut Option<u64>, frame: u64) {
             if slot.is_none() {
                 *slot = Some(frame);
             }
         }
+        // Per-channel activity this frame, observed inside the match arms
+        // below (each trigger gate is evaluated exactly once — re-checking
+        // here would consume extra RNG draws and change the run).
+        let mut active = [false; FaultChannel::ALL.len()];
 
         // --- Input FI and sensor-path Hardware FI: corrupt the sensor
         // channels the agent sees. Only the channels a fault touches are
@@ -139,6 +221,10 @@ impl AvDriver {
         match &*spec {
             FaultSpec::Input(f) if f.trigger.is_active(frame, rng) => {
                 mark(injected_at_frame, frame);
+                active[FaultChannel::Image as usize] = f.model.is_some();
+                active[FaultChannel::Gps as usize] = f.gps.is_some();
+                active[FaultChannel::Speed as usize] = f.speed.is_some();
+                active[FaultChannel::Lidar as usize] = f.lidar.is_some();
                 // Scalar-only plans (no camera model) skip the image copy
                 // entirely — the agent sees the world's own buffer.
                 if let Some(model) = &f.model {
@@ -182,6 +268,7 @@ impl AvDriver {
             }
             FaultSpec::Hardware(f) if !f.target.is_control() && f.trigger.is_active(frame, rng) => {
                 mark(injected_at_frame, frame);
+                active[FaultChannel::SensorHardware as usize] = true;
                 let mut speed = input.speed;
                 let mut gx = input.gps.position.x;
                 let mut gy = input.gps.position.y;
@@ -203,6 +290,7 @@ impl AvDriver {
         if let FaultSpec::Hardware(f) = &*spec {
             if f.target.is_control() && f.trigger.is_active(frame, rng) {
                 mark(injected_at_frame, frame);
+                active[FaultChannel::ControlHardware as usize] = true;
                 control = f.corrupt_control(control);
             }
         }
@@ -216,7 +304,12 @@ impl AvDriver {
             control = ch.transfer(control, rng);
             if control != requested {
                 mark(injected_at_frame, frame);
+                active[FaultChannel::Timing as usize] = true;
             }
+        }
+
+        if let Some(log) = event_log {
+            log.frame_end(frame, active);
         }
 
         control

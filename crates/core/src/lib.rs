@@ -26,7 +26,11 @@
 //! deterministic work-stealing queue with streamed
 //! [`engine::ProgressSink`] observability;
 //! [`metrics`] computes the paper's resilience metrics (MSR, VPK, APK,
-//! TTV); [`stats`] and [`report`] summarize and render results.
+//! TTV); [`stats`] and [`report`] summarize and render results. The
+//! flight recorder (the `avfi-trace` crate) plugs in through
+//! [`engine::TraceConfig`]; [`replay`] re-executes any recorded run and
+//! verifies bit-identity, and [`triage`] walks failed-run traces to
+//! attribute each first violation to the injection that preceded it.
 //!
 //! ## Quick example
 //!
@@ -57,12 +61,14 @@ pub mod fault;
 pub mod harness;
 pub mod localizer;
 pub mod metrics;
+pub mod replay;
 pub mod report;
 pub mod stats;
+pub mod triage;
 pub mod trigger;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignResult, RunResult};
-pub use engine::{Engine, ProgressEvent, ProgressSink, StudyResult, WorkPlan};
+pub use campaign::{Campaign, CampaignConfig, CampaignResult, RunResult, TraceSpec};
+pub use engine::{Engine, ProgressEvent, ProgressSink, StudyResult, TraceConfig, WorkPlan};
 pub use fault::FaultSpec;
 pub use harness::AvDriver;
 pub use trigger::Trigger;

@@ -1,0 +1,374 @@
+//! Failure triage: walk the failed-run traces of a campaign and answer
+//! the debugging questions aggregate metrics can't — *which* injection
+//! causally preceded the first violation, *how long* the fault took to
+//! manifest, and *what kinds* of violations a fault model produces.
+//!
+//! Input is the trace directory an [`Engine`](crate::engine::Engine)
+//! execution filled; output is a per-campaign table (rendered through
+//! [`report::Table`](crate::report::Table)) plus JSON export for golden
+//! diffing.
+
+use crate::report::Table;
+use avfi_trace::{read_trace_file, RunTrace, TraceEvent};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Triage of one failed run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriageEntry {
+    /// Trace file name the entry came from.
+    pub file: String,
+    /// Scenario index within the campaign.
+    pub scenario_index: usize,
+    /// Run index within the scenario.
+    pub run_index: usize,
+    /// Per-run seed.
+    pub seed: u64,
+    /// Mission outcome name.
+    pub outcome: String,
+    /// Total violations in the run.
+    pub violations: usize,
+    /// Kind of the first violation, if any violation occurred.
+    pub first_violation: Option<String>,
+    /// Simulation time of the first violation, seconds.
+    pub first_violation_time: Option<f64>,
+    /// Channel of the last injection at or before the first violation —
+    /// the injection that causally preceded it.
+    pub causal_channel: Option<String>,
+    /// Seconds from the first injection to the first violation (the
+    /// fault-activation latency; `None` without both endpoints).
+    pub activation_latency: Option<f64>,
+}
+
+/// Triage of one campaign (all failed runs sharing a (study, fault,
+/// agent) identity).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignTriage {
+    /// Study name from the trace headers.
+    pub study: String,
+    /// Fault label.
+    pub fault: String,
+    /// Agent name.
+    pub agent: String,
+    /// Failed runs triaged.
+    pub failures: usize,
+    /// Violation-kind histogram over the campaign's failed runs, sorted
+    /// by kind name.
+    pub violation_histogram: Vec<(String, usize)>,
+    /// Causal-channel histogram (first-violation attribution), sorted by
+    /// channel name.
+    pub channel_histogram: Vec<(String, usize)>,
+    /// Median fault-activation latency across runs that have one, seconds.
+    pub median_latency: Option<f64>,
+    /// Per-run entries, in flat-plan order.
+    pub entries: Vec<TriageEntry>,
+}
+
+/// Triage of a whole trace directory.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TriageReport {
+    /// Per-campaign triage, in order of first appearance in the flat plan.
+    pub campaigns: Vec<CampaignTriage>,
+    /// Traces read in total (failed and successful).
+    pub traces_read: usize,
+}
+
+impl TriageReport {
+    /// Builds a report from `(file name, trace)` pairs, keeping only
+    /// failed runs. Pairs must be in flat-plan order (as
+    /// [`list_trace_files`](avfi_trace::list_trace_files) yields them).
+    pub fn from_traces<'a, I>(traces: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a str, &'a RunTrace)>,
+    {
+        let mut campaigns: Vec<CampaignTriage> = Vec::new();
+        let mut traces_read = 0usize;
+        for (file, trace) in traces {
+            traces_read += 1;
+            if !trace.is_failure() {
+                continue;
+            }
+            let key = (
+                trace.header.study.clone(),
+                trace.header.fault.clone(),
+                trace.header.agent.clone(),
+            );
+            let campaign = match campaigns
+                .iter_mut()
+                .find(|c| (c.study.clone(), c.fault.clone(), c.agent.clone()) == key)
+            {
+                Some(c) => c,
+                None => {
+                    campaigns.push(CampaignTriage {
+                        study: key.0,
+                        fault: key.1,
+                        agent: key.2,
+                        failures: 0,
+                        violation_histogram: Vec::new(),
+                        channel_histogram: Vec::new(),
+                        median_latency: None,
+                        entries: Vec::new(),
+                    });
+                    campaigns.last_mut().expect("just pushed")
+                }
+            };
+            campaign.failures += 1;
+            campaign.entries.push(triage_run(file, trace));
+        }
+        for campaign in &mut campaigns {
+            finalize(campaign);
+        }
+        TriageReport {
+            campaigns,
+            traces_read,
+        }
+    }
+
+    /// Reads every trace file in `dir` and triages it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and decode errors.
+    pub fn from_dir(dir: &Path) -> io::Result<Self> {
+        let files = avfi_trace::list_trace_files(dir)?;
+        let mut traces = Vec::with_capacity(files.len());
+        for path in files {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            traces.push((name, read_trace_file(&path)?));
+        }
+        Ok(Self::from_traces(
+            traces.iter().map(|(n, t)| (n.as_str(), t)),
+        ))
+    }
+
+    /// Renders the per-campaign triage tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.campaigns {
+            out.push_str(&format!(
+                "study {} · fault {} · agent {} — {} failed run(s), median activation latency {}\n",
+                c.study,
+                c.fault,
+                c.agent,
+                c.failures,
+                c.median_latency
+                    .map(|l| format!("{l:.2} s"))
+                    .unwrap_or_else(|| "n/a".to_string()),
+            ));
+            let mut table = Table::new(vec![
+                "trace",
+                "scenario",
+                "run",
+                "outcome",
+                "violations",
+                "first violation",
+                "t_violation (s)",
+                "causal channel",
+                "latency (s)",
+            ]);
+            for e in &c.entries {
+                table.row(vec![
+                    e.file.clone(),
+                    e.scenario_index.to_string(),
+                    e.run_index.to_string(),
+                    e.outcome.clone(),
+                    e.violations.to_string(),
+                    e.first_violation.clone().unwrap_or_else(|| "-".into()),
+                    e.first_violation_time
+                        .map(|t| format!("{t:.2}"))
+                        .unwrap_or_else(|| "-".into()),
+                    e.causal_channel.clone().unwrap_or_else(|| "-".into()),
+                    e.activation_latency
+                        .map(|l| format!("{l:.2}"))
+                        .unwrap_or_else(|| "-".into()),
+                ]);
+            }
+            out.push_str(&table.render());
+            if !c.violation_histogram.is_empty() {
+                out.push_str("violations: ");
+                let parts: Vec<String> = c
+                    .violation_histogram
+                    .iter()
+                    .map(|(k, n)| format!("{k}×{n}"))
+                    .collect();
+                out.push_str(&parts.join("  "));
+                out.push('\n');
+            }
+            out.push('\n');
+        }
+        if self.campaigns.is_empty() {
+            out.push_str("no failed runs to triage\n");
+        }
+        out
+    }
+
+    /// Serializes the report to pretty JSON (golden-diff friendly: field
+    /// order is fixed and maps are sorted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures (none occur for these types).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+/// Triages a single failed run.
+fn triage_run(file: &str, trace: &RunTrace) -> TriageEntry {
+    let first_violation = trace.first_violation();
+    let (first_kind, first_time, first_frame) = match first_violation {
+        Some(TraceEvent::Violation {
+            kind, time, frame, ..
+        }) => (Some(kind.to_string()), Some(*time), Some(*frame)),
+        _ => (None, None, None),
+    };
+    let causal = first_frame.and_then(|f| trace.last_injection_before(f));
+    let activation_latency = match (trace.summary.injection_time, first_time) {
+        (Some(t0), Some(t1)) if t1 >= t0 => Some(t1 - t0),
+        _ => None,
+    };
+    TriageEntry {
+        file: file.to_string(),
+        scenario_index: trace.header.scenario_index,
+        run_index: trace.header.run_index,
+        seed: trace.header.seed,
+        outcome: trace.summary.outcome.clone(),
+        violations: trace.summary.violations,
+        first_violation: first_kind,
+        first_violation_time: first_time,
+        causal_channel: causal.map(|(_, ch)| ch.label().to_string()),
+        activation_latency,
+    }
+}
+
+/// Fills the campaign-level histograms and median latency from entries.
+fn finalize(campaign: &mut CampaignTriage) {
+    let mut violations: BTreeMap<String, usize> = BTreeMap::new();
+    let mut channels: BTreeMap<String, usize> = BTreeMap::new();
+    let mut latencies: Vec<f64> = Vec::new();
+    for e in &campaign.entries {
+        if let Some(k) = &e.first_violation {
+            *violations.entry(k.clone()).or_default() += 1;
+        }
+        if let Some(ch) = &e.causal_channel {
+            *channels.entry(ch.clone()).or_default() += 1;
+        }
+        if let Some(l) = e.activation_latency {
+            latencies.push(l);
+        }
+    }
+    campaign.violation_histogram = violations.into_iter().collect();
+    campaign.channel_histogram = channels.into_iter().collect();
+    latencies.sort_by(f64::total_cmp);
+    campaign.median_latency = if latencies.is_empty() {
+        None
+    } else {
+        Some(latencies[latencies.len() / 2])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avfi_sim::scenario::{Scenario, TownSpec};
+    use avfi_sim::violation::ViolationKind;
+    use avfi_trace::{FaultChannel, TraceHeader, TraceLevel, TraceSummary};
+
+    fn failed_trace(study: &str, run_index: usize) -> RunTrace {
+        RunTrace {
+            header: TraceHeader {
+                study: study.to_string(),
+                fault: "stuck brake".to_string(),
+                agent: "expert".to_string(),
+                scenario_index: 0,
+                run_index,
+                seed: 42 + run_index as u64,
+                scenario: Scenario::builder(TownSpec::grid(2, 2)).build(),
+                fault_spec_json: "\"None\"".to_string(),
+                weights_fingerprint: None,
+                level: TraceLevel::Blackbox,
+                blackbox_frames: 16,
+            },
+            summary: TraceSummary {
+                success: false,
+                outcome: "stuck".to_string(),
+                duration: 30.0,
+                distance_km: 0.1,
+                violations: 1,
+                injection_time: Some(2.0),
+            },
+            events: vec![
+                TraceEvent::TriggerFired { frame: 30 },
+                TraceEvent::Injection {
+                    frame: 30,
+                    channel: FaultChannel::ControlHardware,
+                },
+                TraceEvent::Violation {
+                    frame: 75,
+                    time: 5.0,
+                    kind: ViolationKind::OffRoad,
+                    x: 1.0,
+                    y: 2.0,
+                    odometer: 12.0,
+                },
+            ],
+            frames: Vec::new(),
+            dropped_frames: 0,
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn triage_attributes_causal_injection() {
+        let t = failed_trace("s", 0);
+        let report = TriageReport::from_traces([("run-000000.avtr", &t)]);
+        assert_eq!(report.campaigns.len(), 1);
+        let c = &report.campaigns[0];
+        assert_eq!(c.failures, 1);
+        let e = &c.entries[0];
+        assert_eq!(e.causal_channel.as_deref(), Some("hw-control"));
+        assert_eq!(e.first_violation.as_deref(), Some("off-road"));
+        assert_eq!(e.activation_latency, Some(3.0));
+        assert_eq!(c.violation_histogram, vec![("off-road".to_string(), 1)]);
+        assert_eq!(c.median_latency, Some(3.0));
+    }
+
+    #[test]
+    fn successful_runs_are_skipped() {
+        let mut ok = failed_trace("s", 1);
+        ok.summary.success = true;
+        ok.summary.violations = 0;
+        ok.events
+            .retain(|e| !matches!(e, TraceEvent::Violation { .. }));
+        let failed = failed_trace("s", 0);
+        let report =
+            TriageReport::from_traces([("run-000000.avtr", &failed), ("run-000001.avtr", &ok)]);
+        assert_eq!(report.traces_read, 2);
+        assert_eq!(report.campaigns.len(), 1);
+        assert_eq!(report.campaigns[0].failures, 1);
+    }
+
+    #[test]
+    fn render_and_json_are_stable() {
+        let t = failed_trace("s", 0);
+        let report = TriageReport::from_traces([("run-000000.avtr", &t)]);
+        let text = report.render();
+        assert!(text.contains("causal channel"));
+        assert!(text.contains("hw-control"));
+        let json = report.to_json().unwrap();
+        let back: TriageReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let report = TriageReport::from_traces(std::iter::empty());
+        assert!(report.render().contains("no failed runs"));
+    }
+}

@@ -1,5 +1,19 @@
 //! Trajectory recorder: per-frame samples of the ego state for post-hoc
-//! analysis (TTV computation, debugging, plotting).
+//! analysis (TTV computation, debugging, plotting, flight-recorder
+//! traces).
+//!
+//! The recorder has two storage modes:
+//!
+//! * **linear** — every pushed sample is kept (debug/eval use). The
+//!   buffer can be preallocated from the scenario's time budget so a run
+//!   never reallocates mid-flight.
+//! * **ring** — a bounded window keeping only the *last* `capacity`
+//!   samples (black-box use): memory stays constant no matter how long
+//!   the run is, and `dropped()` counts the overwritten prefix.
+//!
+//! A recorder is reusable across runs: [`Recorder::reset`] clears the
+//! contents but keeps the allocation, so campaign workers can run
+//! thousands of traced runs without growing a fresh `Vec` each time.
 
 use crate::math::Vec2;
 use crate::physics::VehicleControl;
@@ -22,20 +36,67 @@ pub struct TrajectorySample {
     pub control: VehicleControl,
 }
 
-/// Records ego trajectory samples.
+/// Records ego trajectory samples (linear or bounded-ring storage).
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
     enabled: bool,
+    /// `Some(n)` bounds storage to the last `n` samples (ring mode).
+    capacity: Option<usize>,
     samples: Vec<TrajectorySample>,
+    /// Next write slot once the ring has wrapped.
+    head: usize,
+    dropped: u64,
 }
 
 impl Recorder {
-    /// Creates a recorder; disabled recorders drop samples (zero cost for
-    /// large campaigns).
+    /// Creates a linear recorder; disabled recorders drop samples (zero
+    /// cost for large campaigns).
     pub fn new(enabled: bool) -> Self {
         Recorder {
             enabled,
+            capacity: None,
             samples: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Creates an enabled linear recorder with room for `frames` samples
+    /// already allocated (e.g. `time_budget / FRAME_DT` rounded up), so a
+    /// run never reallocates mid-flight.
+    pub fn preallocated(frames: usize) -> Self {
+        Recorder {
+            enabled: true,
+            capacity: None,
+            samples: Vec::with_capacity(frames),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Converts into an enabled linear recorder whose buffer can hold at
+    /// least `frames` samples, reusing the existing allocation.
+    pub fn into_preallocated(mut self, frames: usize) -> Self {
+        self.capacity = None;
+        self.enabled = true;
+        self.samples.clear();
+        self.samples.reserve(frames);
+        self.head = 0;
+        self.dropped = 0;
+        self
+    }
+
+    /// Creates an enabled bounded recorder keeping only the last
+    /// `capacity` samples (at least 1). Memory is allocated up front and
+    /// never grows.
+    pub fn ring(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Recorder {
+            enabled: true,
+            capacity: Some(capacity),
+            samples: Vec::with_capacity(capacity),
+            head: 0,
+            dropped: 0,
         }
     }
 
@@ -44,24 +105,82 @@ impl Recorder {
         self.enabled
     }
 
-    /// Records one sample (no-op when disabled).
+    /// Turns recording on or off without touching the buffer.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Ring capacity, or `None` in linear mode.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Samples overwritten by the ring (always 0 in linear mode).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears recorded contents while keeping mode, enablement, and the
+    /// allocation — the reuse point between runs.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+
+    /// Records one sample (no-op when disabled). In ring mode, once the
+    /// buffer is full the oldest sample is overwritten.
     pub fn push(&mut self, sample: TrajectorySample) {
-        if self.enabled {
-            self.samples.push(sample);
+        if !self.enabled {
+            return;
+        }
+        match self.capacity {
+            Some(cap) if self.samples.len() == cap => {
+                self.samples[self.head] = sample;
+                self.head = (self.head + 1) % cap;
+                self.dropped += 1;
+            }
+            _ => self.samples.push(sample),
         }
     }
 
-    /// Recorded samples.
+    /// Recorded samples in **storage** order. In ring mode after a wrap
+    /// this is rotated; use [`Recorder::chronological`] for time order.
     pub fn samples(&self) -> &[TrajectorySample] {
         &self.samples
     }
 
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Recorded samples in chronological order (handles ring rotation).
+    pub fn chronological(&self) -> impl Iterator<Item = &TrajectorySample> {
+        let split = if self.samples.len() == self.capacity.unwrap_or(usize::MAX) {
+            self.head
+        } else {
+            0
+        };
+        self.samples[split..].iter().chain(&self.samples[..split])
+    }
+
     /// Total path length of the recorded trajectory, meters.
     pub fn path_length(&self) -> f64 {
-        self.samples
-            .windows(2)
-            .map(|w| w[0].position.distance(w[1].position))
-            .sum()
+        let mut prev: Option<Vec2> = None;
+        let mut total = 0.0;
+        for s in self.chronological() {
+            if let Some(p) = prev {
+                total += p.distance(s.position);
+            }
+            prev = Some(s.position);
+        }
+        total
     }
 
     /// Mean speed over the recording, m/s.
@@ -110,5 +229,62 @@ mod tests {
         let r = Recorder::new(true);
         assert_eq!(r.path_length(), 0.0);
         assert_eq!(r.mean_speed(), 0.0);
+    }
+
+    #[test]
+    fn ring_keeps_last_window() {
+        let mut r = Recorder::ring(3);
+        for i in 0..7 {
+            r.push(sample(i as f64, i as f64, 1.0));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 4);
+        let times: Vec<f64> = r.chronological().map(|s| s.time).collect();
+        assert_eq!(times, vec![4.0, 5.0, 6.0]);
+        // Path length walks the window chronologically despite rotation.
+        assert_eq!(r.path_length(), 2.0);
+    }
+
+    #[test]
+    fn ring_never_grows_past_capacity() {
+        let mut r = Recorder::ring(5);
+        let before = r.samples.capacity();
+        for i in 0..1000 {
+            r.push(sample(i as f64, 0.0, 0.0));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.samples.capacity(), before);
+    }
+
+    #[test]
+    fn reset_keeps_allocation_and_mode() {
+        let mut r = Recorder::ring(4);
+        for i in 0..9 {
+            r.push(sample(i as f64, 0.0, 0.0));
+        }
+        let cap_bytes = r.samples.capacity();
+        r.reset();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.capacity(), Some(4));
+        assert_eq!(r.samples.capacity(), cap_bytes);
+        // Refilling after reset behaves like a fresh ring.
+        for i in 0..6 {
+            r.push(sample(i as f64, 0.0, 0.0));
+        }
+        let times: Vec<f64> = r.chronological().map(|s| s.time).collect();
+        assert_eq!(times, vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn preallocated_never_reallocates_within_budget() {
+        let mut r = Recorder::preallocated(64);
+        let before = r.samples.capacity();
+        for i in 0..64 {
+            r.push(sample(i as f64, 0.0, 0.0));
+        }
+        assert_eq!(r.samples.capacity(), before);
+        assert_eq!(r.len(), 64);
+        assert_eq!(r.dropped(), 0);
     }
 }

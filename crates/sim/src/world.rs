@@ -236,9 +236,27 @@ impl World {
         &self.recorder
     }
 
-    /// Enables or disables trajectory recording.
+    /// Enables or disables trajectory recording. Enabling preallocates
+    /// the sample buffer from the scenario's time budget so the run never
+    /// reallocates mid-flight; re-enabling reuses the existing buffer.
     pub fn set_recording(&mut self, enabled: bool) {
-        self.recorder = Recorder::new(enabled);
+        if enabled && self.recorder.capacity().is_none() {
+            let frames = (self.scenario.time_budget / FRAME_DT).ceil() as usize + 1;
+            self.recorder = std::mem::take(&mut self.recorder).into_preallocated(frames);
+        }
+        self.recorder.set_enabled(enabled);
+        self.recorder.reset();
+    }
+
+    /// Replaces the world's recorder (e.g. with a bounded black-box ring
+    /// reused across runs). The previous recorder is returned.
+    pub fn install_recorder(&mut self, recorder: Recorder) -> Recorder {
+        std::mem::replace(&mut self.recorder, recorder)
+    }
+
+    /// Takes the recorder out of the world, leaving a disabled one.
+    pub fn take_recorder(&mut self) -> Recorder {
+        std::mem::take(&mut self.recorder)
     }
 
     /// Simulation time, seconds.

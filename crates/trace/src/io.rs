@@ -1,0 +1,101 @@
+//! Trace files on disk: naming, writing, reading, directory listing.
+//!
+//! Traces are routed by **flat-plan index** — the run's position in the
+//! engine's flattened work queue — so the set of file names a campaign
+//! emits is a pure function of the plan, never of worker count or
+//! scheduling. Files use the `.avtr` extension.
+
+use crate::codec::{decode, encode, DecodeError};
+use crate::model::RunTrace;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Extension of binary trace files.
+pub const TRACE_EXT: &str = "avtr";
+
+/// Deterministic file name for the run at `flat_index` in the flattened
+/// plan: `run-000042.avtr`.
+pub fn trace_file_name(flat_index: usize) -> String {
+    format!("run-{flat_index:06}.{TRACE_EXT}")
+}
+
+/// Encodes and writes `trace` into `dir` under its flat-index name,
+/// creating the directory if needed. Returns the written path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_trace_file(dir: &Path, flat_index: usize, trace: &RunTrace) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(trace_file_name(flat_index));
+    std::fs::write(&path, encode(trace))?;
+    Ok(path)
+}
+
+/// Reads and decodes one trace file.
+///
+/// # Errors
+///
+/// Filesystem errors and [`DecodeError`]s are both surfaced as
+/// `io::Error` (decode failures with `InvalidData`).
+pub fn read_trace_file(path: &Path) -> io::Result<RunTrace> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes).map_err(|e: DecodeError| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
+}
+
+/// Lists the `.avtr` files in `dir`, sorted by file name (= flat-plan
+/// order). A missing directory lists as empty.
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than a missing directory.
+pub fn list_trace_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(TRACE_EXT))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_sort_in_flat_order() {
+        assert_eq!(trace_file_name(0), "run-000000.avtr");
+        assert_eq!(trace_file_name(123456), "run-123456.avtr");
+        let mut names: Vec<String> = [9usize, 100, 3, 42]
+            .iter()
+            .map(|&i| trace_file_name(i))
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                "run-000003.avtr",
+                "run-000009.avtr",
+                "run-000042.avtr",
+                "run-000100.avtr"
+            ]
+        );
+    }
+
+    #[test]
+    fn missing_dir_lists_empty() {
+        let dir = std::env::temp_dir().join("avfi-trace-no-such-dir-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(list_trace_files(&dir).unwrap().is_empty());
+    }
+}

@@ -5,6 +5,10 @@
 # output — including nondeterminism introduced into the engine, since the
 # goldens were produced by the same seeded plans.
 #
+# A trace tier then reruns one faulted experiment with the flight recorder
+# in blackbox mode, replays every emitted trace (bit-identity check), and
+# golden-diffs the triage report.
+#
 # Usage: scripts/smoke.sh [--bless]
 #   --bless   regenerate the goldens instead of diffing against them
 #
@@ -55,10 +59,50 @@ for bin in "${BINARIES[@]}"; do
   fi
 done
 
+# Trace tier: rerun one faulted experiment with the flight recorder in
+# blackbox mode, check that tracing does not perturb the experiment JSON,
+# replay every emitted trace (failing on any divergence), and golden-diff
+# the triage report.
+TRACE_BIN=ext_b_ttv
+TRACE_DIR="$SMOKE_DIR/traces"
+TRACED_OUT="$SMOKE_DIR/traced"
+echo "==> smoke: $TRACE_BIN --quick --workers 2 --trace-level blackbox"
+rm -rf "$TRACE_DIR" "$TRACED_OUT"
+mkdir -p "$TRACED_OUT"
+AVFI_RESULTS_DIR="$TRACED_OUT" \
+  "target/release/$TRACE_BIN" --quick --workers 2 \
+  --trace "$TRACE_DIR" --trace-level blackbox >"$TRACED_OUT/$TRACE_BIN.stdout"
+if ! diff -u "$SMOKE_DIR/$TRACE_BIN.json" "$TRACED_OUT/$TRACE_BIN.json"; then
+  echo "smoke FAIL: enabling the flight recorder changed $TRACE_BIN output" >&2
+  fail=1
+fi
+
+ntraces=$(find "$TRACE_DIR" -name '*.avtr' 2>/dev/null | wc -l)
+echo "==> smoke: replaying $ntraces blackbox traces"
+if [[ "$ntraces" == 0 ]]; then
+  echo "smoke FAIL: faulted $TRACE_BIN campaign emitted no traces" >&2
+  fail=1
+elif ! target/release/replay "$TRACE_DIR" >"$SMOKE_DIR/replay.stdout"; then
+  echo "smoke FAIL: trace replay diverged or errored" >&2
+  grep -v ': MATCH ' "$SMOKE_DIR/replay.stdout" >&2 || true
+  fail=1
+fi
+
+echo "==> smoke: triaging traces"
+target/release/triage "$TRACE_DIR" \
+  --out "$SMOKE_DIR/${TRACE_BIN}_triage.json" >"$SMOKE_DIR/triage.stdout" 2>&1
 if [[ "$BLESS" == 1 ]]; then
-  echo "OK: goldens regenerated in $GOLDEN_DIR"
-elif [[ "$fail" == 0 ]]; then
-  echo "OK: smoke outputs match goldens"
-else
+  cp "$SMOKE_DIR/${TRACE_BIN}_triage.json" "$GOLDEN_DIR/${TRACE_BIN}_triage.json"
+elif ! diff -u "$GOLDEN_DIR/${TRACE_BIN}_triage.json" "$SMOKE_DIR/${TRACE_BIN}_triage.json"; then
+  echo "smoke FAIL: triage report drifted from $GOLDEN_DIR/${TRACE_BIN}_triage.json" >&2
+  echo "  (if the change is intentional, rerun: scripts/smoke.sh --bless)" >&2
+  fail=1
+fi
+
+if [[ "$fail" != 0 ]]; then
   exit 1
+elif [[ "$BLESS" == 1 ]]; then
+  echo "OK: goldens regenerated in $GOLDEN_DIR"
+else
+  echo "OK: smoke outputs match goldens"
 fi
