@@ -2,15 +2,18 @@
 //! engine, worker-count invariance of the emitted file set, bit-identical
 //! replay, corruption detection, and bounded black-box memory.
 
+use avfi_agent::IlNetwork;
 use avfi_core::campaign::{AgentSpec, CampaignConfig};
 use avfi_core::engine::{Engine, TraceConfig, WorkPlan};
 use avfi_core::fault::hardware::{BitFaultModel, HardwareFault, HardwareTarget};
+use avfi_core::fault::input::{ImageFault, InputFault};
 use avfi_core::fault::timing::TimingFault;
 use avfi_core::fault::FaultSpec;
 use avfi_core::replay::{replay_trace, ReplayVerdict};
 use avfi_sim::scenario::{Scenario, TownSpec};
 use avfi_trace::{list_trace_files, read_trace_file, TraceLevel};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 fn quick_scenario(seed: u64) -> Scenario {
     let mut town = TownSpec::grid(2, 2);
@@ -209,6 +212,96 @@ fn summary_level_traces_every_run_without_frames() {
     }
     assert!(failures > 0, "plan contains guaranteed failures");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Image-fault campaign through the flight recorder, end to end: the
+/// IL-CNN consumes span-rendered, fault-corrupted camera frames, the
+/// black box records the failures, and replay re-executes each run —
+/// re-rendering every camera frame through the span path. The emitted
+/// file set must be worker-count invariant byte for byte, and every
+/// trace must replay bit-identically. A camera whose output depended on
+/// thread, scratch-buffer history, or recorder state would fail here.
+#[test]
+fn image_fault_campaign_traces_are_worker_invariant_and_replay() {
+    let mut net = IlNetwork::new(41);
+    let weights = net.to_weights();
+    let agent = AgentSpec::Neural {
+        weights: Arc::new(weights.clone()),
+    };
+    let scenario = |seed: u64| {
+        let mut town = TownSpec::grid(2, 2);
+        town.signalized = false;
+        Scenario::builder(town)
+            .seed(seed)
+            .npc_vehicles(1)
+            .pedestrians(0)
+            .time_budget(8.0)
+            .min_route_length(40.0)
+            .build()
+    };
+    let campaign = |fault: ImageFault| {
+        CampaignConfig::builder(vec![scenario(81), scenario(82)])
+            .runs_per_scenario(1)
+            .fault(FaultSpec::Input(InputFault::always(fault)))
+            .agent(agent.clone())
+            .build()
+    };
+    let plan = WorkPlan::new().with_study(
+        "image-faults",
+        vec![
+            campaign(ImageFault::gaussian(0.3)),
+            campaign(ImageFault::solid_occlusion(0.5)),
+        ],
+    );
+
+    let dir1 = temp_trace_dir("img-w1");
+    let dir5 = temp_trace_dir("img-w5");
+    let r1 = Engine::new()
+        .workers(1)
+        .with_trace(blackbox_config(&dir1))
+        .execute(&plan);
+    let r5 = Engine::new()
+        .workers(5)
+        .with_trace(blackbox_config(&dir5))
+        .execute(&plan);
+    assert_eq!(
+        serde_json::to_string(&r1).unwrap(),
+        serde_json::to_string(&r5).unwrap(),
+        "worker count must not affect the image-fault campaign"
+    );
+
+    let f1 = list_trace_files(&dir1).unwrap();
+    let f5 = list_trace_files(&dir5).unwrap();
+    assert!(
+        !f1.is_empty(),
+        "an untrained CNN on corrupted images must miss its 40 m mission"
+    );
+    let name = |p: &PathBuf| p.file_name().unwrap().to_string_lossy().into_owned();
+    assert_eq!(
+        f1.iter().map(name).collect::<Vec<_>>(),
+        f5.iter().map(name).collect::<Vec<_>>()
+    );
+    for (a, b) in f1.iter().zip(&f5) {
+        assert_eq!(
+            std::fs::read(a).unwrap(),
+            std::fs::read(b).unwrap(),
+            "trace {} differs between worker counts",
+            a.display()
+        );
+    }
+
+    for path in &f1 {
+        let trace = read_trace_file(path).unwrap();
+        assert_eq!(trace.header.agent, "il-cnn");
+        match replay_trace(&trace, Some(&weights)).expect("replayable") {
+            ReplayVerdict::Match { frames_checked, .. } => {
+                assert_eq!(frames_checked, trace.frames.len());
+            }
+            ReplayVerdict::Diverged(d) => panic!("{} diverged: {d}", path.display()),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir5);
 }
 
 #[test]

@@ -344,31 +344,71 @@ impl Map {
 
     /// A reusable cursor for spatially coherent [`Map::material_at`] query
     /// streams (the camera's ground pass): queries landing in the cell of
-    /// the previous query skip cell resolution entirely.
+    /// the previous query skip the per-cell slice lookup.
+    ///
+    /// Cell resolution is a pure function of the query point (never of the
+    /// query history), so a cursor, [`Map::material_at`] and the span
+    /// classifier ([`Map::classify_ground_row`]) always agree bit for bit.
     pub fn material_cursor(&self) -> MaterialCursor<'_> {
         MaterialCursor {
             grid: &self.materials,
-            x0: f64::INFINITY,
-            x1: f64::NEG_INFINITY,
-            y0: f64::INFINITY,
-            y1: f64::NEG_INFINITY,
+            cell: None,
             buildings: &[],
             isect_areas: &[],
             axes: &[],
         }
     }
+
+    /// Classifies the ground materials of one camera image row
+    /// analytically and emits maximal constant-material spans.
+    ///
+    /// Within one row, ground hits march along a straight world-space line
+    /// `p(x) = base + x · step` (`x` = pixel index). Material boundaries
+    /// along that line are roots of per-geometry quadratics (axis band
+    /// thresholds, nearest-axis ties, rectangle edges, grid-cell
+    /// crossings); this solves them once per row and verifies each
+    /// candidate with the exact per-pixel classifier, so the emitted spans
+    /// are bit-identical to querying [`Map::material_at`] per pixel.
+    ///
+    /// `exact(x)` must return the *exact* world point the per-pixel path
+    /// would query for pixel `x` (the camera computes it from its ray
+    /// table); the line's `base`/`step` only steer the analytic root
+    /// search and may differ from `exact` by floating-point rounding.
+    /// `emit(start, end, material)` is called for maximal spans
+    /// `[start, end)` covering the line's `[x0, x1)` in order.
+    pub fn classify_ground_row(
+        &self,
+        scratch: &mut SpanScratch,
+        line: RowLine,
+        exact: impl Fn(u32) -> Vec2,
+        emit: impl FnMut(u32, u32, Material),
+    ) {
+        self.materials
+            .classify_ground_row(scratch, line, exact, emit)
+    }
+}
+
+/// The world-space line one camera image row marches along: pixel `x`
+/// maps to `p(x) = base + x · step`, over the pixel range `[x0, x1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowLine {
+    /// World point of pixel 0 under the linear model.
+    pub base: Vec2,
+    /// World-space step per pixel.
+    pub step: Vec2,
+    /// First pixel of the run (inclusive).
+    pub x0: u32,
+    /// One past the last pixel of the run.
+    pub x1: u32,
 }
 
 /// See [`Map::material_cursor`].
 #[derive(Debug)]
 pub struct MaterialCursor<'a> {
     grid: &'a MaterialGrid,
-    /// World bounds of the cached cell (an empty interval when nothing is
-    /// cached yet, so the first query always resolves).
-    x0: f64,
-    x1: f64,
-    y0: f64,
-    y1: f64,
+    /// Grid cell the cached slices belong to (`None` until the first
+    /// in-grid query resolves).
+    cell: Option<(u32, u32)>,
     buildings: &'a [Aabb],
     isect_areas: &'a [Aabb],
     axes: &'a [MatAxis],
@@ -378,25 +418,16 @@ impl MaterialCursor<'_> {
     /// Ground material at `p`; equivalent to [`Map::material_at`].
     #[inline]
     pub fn material_at(&mut self, p: Vec2) -> Material {
-        if !(p.x >= self.x0 && p.x < self.x1 && p.y >= self.y0 && p.y < self.y1) {
-            let g = self.grid;
-            let fx = (p.x - g.origin.x) * g.inv_cell;
-            let fy = (p.y - g.origin.y) * g.inv_cell;
-            if fx < 0.0 || fy < 0.0 {
-                return Material::Grass;
-            }
-            let (ix, iy) = (fx as usize, fy as usize);
-            if ix >= g.nx || iy >= g.ny {
-                return Material::Grass;
-            }
-            let cell = g.cells[iy * g.nx + ix];
-            self.x0 = g.origin.x + ix as f64 * g.cell;
-            self.x1 = self.x0 + g.cell;
-            self.y0 = g.origin.y + iy as f64 * g.cell;
-            self.y1 = self.y0 + g.cell;
-            self.buildings = &g.buildings[cell.b0 as usize..cell.b1 as usize];
-            self.isect_areas = &g.isect_areas[cell.i0 as usize..cell.i1 as usize];
-            self.axes = &g.axes[cell.a0 as usize..cell.a1 as usize];
+        let g = self.grid;
+        let Some(cell) = g.locate(p) else {
+            return Material::Grass;
+        };
+        if self.cell != Some(cell) {
+            let c = g.cells[cell.1 as usize * g.nx + cell.0 as usize];
+            self.buildings = &g.buildings[c.b0 as usize..c.b1 as usize];
+            self.isect_areas = &g.isect_areas[c.i0 as usize..c.i1 as usize];
+            self.axes = &g.axes[c.a0 as usize..c.a1 as usize];
+            self.cell = Some(cell);
         }
         classify(self.buildings, self.isect_areas, self.axes, p)
     }
@@ -524,24 +555,39 @@ impl MaterialGrid {
         mg
     }
 
+    /// Grid cell containing `p`, or `None` outside the grid.
+    ///
+    /// This is the *only* cell-resolution routine: [`material_at`],
+    /// [`MaterialCursor`], and the span classifier all call it, so a point
+    /// lands in the same cell no matter which query path asks.
+    #[inline]
+    fn locate(&self, p: Vec2) -> Option<(u32, u32)> {
+        let fx = (p.x - self.origin.x) * self.inv_cell;
+        let fy = (p.y - self.origin.y) * self.inv_cell;
+        if fx < 0.0 || fy < 0.0 {
+            return None;
+        }
+        let (ix, iy) = (fx as usize, fy as usize);
+        if ix >= self.nx || iy >= self.ny {
+            return None;
+        }
+        Some((ix as u32, iy as u32))
+    }
+
     #[inline]
     fn material_at(&self, p: Vec2) -> Material {
-        let ix = (p.x - self.origin.x) * self.inv_cell;
-        let iy = (p.y - self.origin.y) * self.inv_cell;
-        if ix < 0.0 || iy < 0.0 {
-            return Material::Grass;
+        match self.locate(p) {
+            None => Material::Grass,
+            Some((ix, iy)) => {
+                let cell = self.cells[iy as usize * self.nx + ix as usize];
+                classify(
+                    &self.buildings[cell.b0 as usize..cell.b1 as usize],
+                    &self.isect_areas[cell.i0 as usize..cell.i1 as usize],
+                    &self.axes[cell.a0 as usize..cell.a1 as usize],
+                    p,
+                )
+            }
         }
-        let (ix, iy) = (ix as usize, iy as usize);
-        if ix >= self.nx || iy >= self.ny {
-            return Material::Grass;
-        }
-        let cell = self.cells[iy * self.nx + ix];
-        classify(
-            &self.buildings[cell.b0 as usize..cell.b1 as usize],
-            &self.isect_areas[cell.i0 as usize..cell.i1 as usize],
-            &self.axes[cell.a0 as usize..cell.a1 as usize],
-            p,
-        )
     }
 }
 
@@ -584,6 +630,391 @@ fn classify(buildings: &[Aabb], isect_areas: &[Aabb], axes: &[MatAxis], p: Vec2)
         }
     }
     Material::Grass
+}
+
+/// Reusable buffers for [`Map::classify_ground_row`], so steady-state span
+/// rendering allocates nothing per frame.
+#[derive(Debug, Clone, Default)]
+pub struct SpanScratch {
+    /// Candidate boundary roots (pixel-index units) for the current cell
+    /// segment.
+    roots: Vec<f64>,
+    /// Probe pixels derived from the roots, sorted and deduplicated.
+    probes: Vec<u32>,
+    /// Clamp-regime knot positions for the axis piecewise quadratics.
+    knots: Vec<f64>,
+}
+
+impl SpanScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Clamp regime of the closest-point parameter `t` along one piece of the
+/// row line: `d_sq(u)` is a plain quadratic within one regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Regime {
+    /// `t` clamps to 0: distance to endpoint `a`.
+    ClampA,
+    /// `0 < t < 1`: perpendicular distance to the infinite axis line.
+    Free,
+    /// `t` clamps to 1: distance to endpoint `b`.
+    ClampB,
+}
+
+/// Pushes `u` if it is a usable root strictly inside `(lo, hi]`.
+#[inline]
+fn push_root(u: f64, lo: f64, hi: f64, out: &mut Vec<f64>) {
+    if u.is_finite() && u > lo && u <= hi {
+        out.push(u);
+    }
+}
+
+/// Real roots of `a·u² + b·u + c = 0` inside `(lo, hi]`, using the
+/// cancellation-stable split (`q = -(b + sign(b)·√disc)/2`, roots `q/a` and
+/// `c/q`). A tiny `a` yields one huge root (range-filtered out) and one
+/// accurate root, so no degeneracy epsilon is needed.
+fn quad_roots(a: f64, b: f64, c: f64, lo: f64, hi: f64, out: &mut Vec<f64>) {
+    if a == 0.0 {
+        if b != 0.0 {
+            push_root(-c / b, lo, hi, out);
+        }
+        return;
+    }
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return;
+    }
+    let q = -0.5 * (b + disc.sqrt().copysign(if b == 0.0 { 1.0 } else { b }));
+    push_root(q / a, lo, hi, out);
+    if q != 0.0 {
+        push_root(c / q, lo, hi, out);
+    }
+}
+
+/// Crossings of the row line with a rectangle's four edge lines.
+fn rect_roots(b: &Aabb, base: Vec2, step: Vec2, lo: f64, hi: f64, out: &mut Vec<f64>) {
+    if step.x != 0.0 {
+        push_root((b.min.x - base.x) / step.x, lo, hi, out);
+        push_root((b.max.x - base.x) / step.x, lo, hi, out);
+    }
+    if step.y != 0.0 {
+        push_root((b.min.y - base.y) / step.y, lo, hi, out);
+        push_root((b.max.y - base.y) / step.y, lo, hi, out);
+    }
+}
+
+/// Clamp regime of `axis` at row-line position `u`.
+fn axis_regime(axis: &MatAxis, base: Vec2, step: Vec2, u: f64) -> Regime {
+    if axis.inv_len2 == 0.0 {
+        return Regime::ClampA;
+    }
+    let p = base + step * u;
+    let t = (p - axis.a).dot(axis.d) * axis.inv_len2;
+    if t <= 0.0 {
+        Regime::ClampA
+    } else if t >= 1.0 {
+        Regime::ClampB
+    } else {
+        Regime::Free
+    }
+}
+
+/// Coefficients `(A, B, C)` of `d_sq(u) = A·u² + B·u + C`, the squared
+/// distance from the row-line point `base + u·step` to `axis`, valid while
+/// the closest-point parameter stays in `regime`.
+fn axis_coeffs(axis: &MatAxis, base: Vec2, step: Vec2, regime: Regime) -> (f64, f64, f64) {
+    match regime {
+        Regime::ClampA => {
+            let w = base - axis.a;
+            (step.norm_sq(), 2.0 * w.dot(step), w.norm_sq())
+        }
+        Regime::ClampB => {
+            let w = base - (axis.a + axis.d);
+            (step.norm_sq(), 2.0 * w.dot(step), w.norm_sq())
+        }
+        Regime::Free => {
+            // d_sq = |q0 + u·step|² − (t0 + u·td)²/len2,
+            // with q0 = base − a, t0 = q0·d, td = step·d.
+            let q0 = base - axis.a;
+            let t0 = q0.dot(axis.d);
+            let td = step.dot(axis.d);
+            let il = axis.inv_len2;
+            (
+                step.norm_sq() - td * td * il,
+                2.0 * (q0.dot(step) - t0 * td * il),
+                q0.norm_sq() - t0 * t0 * il,
+            )
+        }
+    }
+}
+
+/// Regime-change knots of `axis` along the row line (where `t` crosses 0 or
+/// 1), restricted to `(lo, hi]`.
+fn axis_knots(axis: &MatAxis, base: Vec2, step: Vec2, lo: f64, hi: f64, out: &mut Vec<f64>) {
+    if axis.inv_len2 == 0.0 {
+        return;
+    }
+    let td = step.dot(axis.d);
+    if td == 0.0 {
+        return;
+    }
+    let t0 = (base - axis.a).dot(axis.d);
+    let len2 = axis.d.norm_sq();
+    push_root(-t0 / td, lo, hi, out);
+    push_root((len2 - t0) / td, lo, hi, out);
+}
+
+impl MaterialGrid {
+    /// Collects every candidate boundary root in `(lo, hi]` for one cell's
+    /// geometry into `scratch.roots`.
+    fn gather_cell_roots(
+        &self,
+        c: MatCell,
+        base: Vec2,
+        step: Vec2,
+        lo: f64,
+        hi: f64,
+        scratch: &mut SpanScratch,
+    ) {
+        for b in &self.buildings[c.b0 as usize..c.b1 as usize] {
+            rect_roots(b, base, step, lo, hi, &mut scratch.roots);
+        }
+        for a in &self.isect_areas[c.i0 as usize..c.i1 as usize] {
+            rect_roots(a, base, step, lo, hi, &mut scratch.roots);
+        }
+        let axes = &self.axes[c.a0 as usize..c.a1 as usize];
+        // Band-threshold crossings of each axis, piecewise by clamp regime.
+        for axis in axes {
+            scratch.knots.clear();
+            axis_knots(axis, base, step, lo, hi, &mut scratch.knots);
+            // A regime change can itself move the point across a band.
+            scratch.roots.extend_from_slice(&scratch.knots);
+            scratch.knots.push(hi);
+            scratch.knots.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut pl = lo;
+            for i in 0..scratch.knots.len() {
+                let ph = scratch.knots[i];
+                if ph <= pl {
+                    continue;
+                }
+                let regime = axis_regime(axis, base, step, 0.5 * (pl + ph));
+                let (a2, a1, a0) = axis_coeffs(axis, base, step, regime);
+                for thr in [
+                    MARK_HALF * MARK_HALF,
+                    axis.edge_lo_sq,
+                    axis.road_sq,
+                    axis.walk_sq,
+                ] {
+                    quad_roots(a2, a1, a0 - thr, pl, ph, &mut scratch.roots);
+                }
+                pl = ph;
+            }
+        }
+        // Nearest-axis handover: where two axes are equidistant the winner
+        // (and with it the band thresholds) can change.
+        for i in 0..axes.len() {
+            for j in (i + 1)..axes.len() {
+                scratch.knots.clear();
+                axis_knots(&axes[i], base, step, lo, hi, &mut scratch.knots);
+                axis_knots(&axes[j], base, step, lo, hi, &mut scratch.knots);
+                scratch.knots.push(hi);
+                scratch.knots.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let mut pl = lo;
+                for k in 0..scratch.knots.len() {
+                    let ph = scratch.knots[k];
+                    if ph <= pl {
+                        continue;
+                    }
+                    let um = 0.5 * (pl + ph);
+                    let (p2, p1, p0) =
+                        axis_coeffs(&axes[i], base, step, axis_regime(&axes[i], base, step, um));
+                    let (q2, q1, q0) =
+                        axis_coeffs(&axes[j], base, step, axis_regime(&axes[j], base, step, um));
+                    quad_roots(p2 - q2, p1 - q1, p0 - q0, pl, ph, &mut scratch.roots);
+                    pl = ph;
+                }
+            }
+        }
+    }
+
+    /// Classification at a probe pixel, given its (already resolved) cell.
+    #[inline]
+    fn classify_in(&self, cell: Option<(u32, u32)>, p: Vec2) -> Material {
+        match cell {
+            None => Material::Grass,
+            Some((ix, iy)) => {
+                let c = self.cells[iy as usize * self.nx + ix as usize];
+                classify(
+                    &self.buildings[c.b0 as usize..c.b1 as usize],
+                    &self.isect_areas[c.i0 as usize..c.i1 as usize],
+                    &self.axes[c.a0 as usize..c.a1 as usize],
+                    p,
+                )
+            }
+        }
+    }
+
+    /// First `u > after` where the row line leaves the axis-aligned box, or
+    /// `+inf` when it never does (parallel and inside).
+    fn exit_u(bx0: f64, bx1: f64, by0: f64, by1: f64, base: Vec2, step: Vec2) -> f64 {
+        let mut t = f64::INFINITY;
+        if step.x > 0.0 {
+            t = t.min((bx1 - base.x) / step.x);
+        } else if step.x < 0.0 {
+            t = t.min((bx0 - base.x) / step.x);
+        }
+        if step.y > 0.0 {
+            t = t.min((by1 - base.y) / step.y);
+        } else if step.y < 0.0 {
+            t = t.min((by0 - base.y) / step.y);
+        }
+        t
+    }
+
+    /// First `u > after` where the row line enters the box `[bx0,bx1) ×
+    /// [by0,by1)`, or `+inf` when it never does. When the linear model says
+    /// the point is already inside (the caller's exact point disagreed by a
+    /// rounding margin), returns `after + 0.5` to force verification at the
+    /// very next pixel.
+    fn enter_u(bx0: f64, bx1: f64, by0: f64, by1: f64, base: Vec2, step: Vec2, after: f64) -> f64 {
+        let mut t_in = f64::NEG_INFINITY;
+        let mut t_out = f64::INFINITY;
+        for (b0, b1, o, s) in [(bx0, bx1, base.x, step.x), (by0, by1, base.y, step.y)] {
+            if s == 0.0 {
+                if o < b0 || o >= b1 {
+                    return f64::INFINITY;
+                }
+            } else {
+                let (a, b) = ((b0 - o) / s, (b1 - o) / s);
+                let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                t_in = t_in.max(a);
+                t_out = t_out.min(b);
+            }
+        }
+        if t_in > t_out || t_out <= after {
+            f64::INFINITY
+        } else if t_in > after {
+            t_in
+        } else {
+            after + 0.5
+        }
+    }
+
+    /// See [`Map::classify_ground_row`].
+    fn classify_ground_row(
+        &self,
+        scratch: &mut SpanScratch,
+        line: RowLine,
+        exact: impl Fn(u32) -> Vec2,
+        mut emit: impl FnMut(u32, u32, Material),
+    ) {
+        let RowLine { base, step, x0, x1 } = line;
+        if x0 >= x1 {
+            return;
+        }
+        let mut span_start = x0;
+        let mut cur: Option<Material> = None;
+        let mut x = x0;
+        'segments: while x < x1 {
+            // Resolve the segment's cell from the exact pixel point, then
+            // bound the segment by the analytic cell-crossing root.
+            let p = exact(x);
+            let cell = self.locate(p);
+            let after = x as f64;
+            let limit = match cell {
+                Some((ix, iy)) => {
+                    let bx0 = self.origin.x + ix as f64 * self.cell;
+                    let by0 = self.origin.y + iy as f64 * self.cell;
+                    Self::exit_u(bx0, bx0 + self.cell, by0, by0 + self.cell, base, step)
+                }
+                None => {
+                    let gx1 = self.origin.x + self.nx as f64 * self.cell;
+                    let gy1 = self.origin.y + self.ny as f64 * self.cell;
+                    Self::enter_u(self.origin.x, gx1, self.origin.y, gy1, base, step, after)
+                }
+            };
+            // Guard against the exact point sitting a rounding margin past
+            // the boundary the linear model predicts: always look at least
+            // half a pixel ahead so the next probe makes progress.
+            let limit = limit.max(after + 0.5);
+            // If the predicted crossing lands inside the row, the segment
+            // provisionally ends one past its bracket; probes confirm.
+            let seg_end: u32 = if limit >= x1 as f64 {
+                x1
+            } else {
+                (limit.floor() as u32 + 2).min(x1)
+            };
+
+            scratch.roots.clear();
+            if let Some((ix, iy)) = cell {
+                let c = self.cells[iy as usize * self.nx + ix as usize];
+                self.gather_cell_roots(c, base, step, after, limit.min(seg_end as f64), scratch);
+            }
+            if limit < seg_end as f64 {
+                scratch.roots.push(limit);
+            }
+
+            // Each root r can flip the material at floor(r) or floor(r)+1
+            // (the linear model and the exact table differ by rounding).
+            scratch.probes.clear();
+            for i in 0..scratch.roots.len() {
+                let f = scratch.roots[i].floor();
+                for q in [f, f + 1.0] {
+                    if q > after && q < seg_end as f64 {
+                        scratch.probes.push(q as u32);
+                    }
+                }
+            }
+            scratch.probes.sort_unstable();
+            scratch.probes.dedup();
+
+            // Classify the segment's first pixel exactly.
+            let m0 = self.classify_in(cell, p);
+            match cur {
+                None => cur = Some(m0),
+                Some(m) if m != m0 => {
+                    emit(span_start, x, m);
+                    span_start = x;
+                    cur = Some(m0);
+                }
+                _ => {}
+            }
+
+            // Walk the probes: between consecutive probes the material is
+            // constant (all candidate roots are bracketed by probes).
+            let mut prev_known = x;
+            for pi in 0..scratch.probes.len() {
+                let q = scratch.probes[pi];
+                let pq = exact(q);
+                if self.locate(pq) != cell {
+                    // Crossed into another cell: restart segment there.
+                    x = q;
+                    continue 'segments;
+                }
+                let mq = self.classify_in(cell, pq);
+                let m = cur.expect("initialized above");
+                if mq != m {
+                    // Localize the flip pixel by scanning back toward the
+                    // last pixel known to hold the current material.
+                    let mut b = q;
+                    while b > prev_known + 1 && self.classify_in(cell, exact(b - 1)) == mq {
+                        b -= 1;
+                    }
+                    emit(span_start, b, m);
+                    span_start = b;
+                    cur = Some(mq);
+                }
+                prev_known = q;
+            }
+            x = seg_end;
+        }
+        if let Some(m) = cur {
+            emit(span_start, x1, m);
+        }
+    }
 }
 
 /// Uniform spatial hash over the map bounds.

@@ -1,17 +1,29 @@
 //! Software-rasterized forward RGB camera.
 //!
 //! The camera renders the driver's view by inverse-perspective mapping of
-//! the ground plane (sampling [`Map::material_at`] per pixel) plus billboard
-//! sprites for vehicles, pedestrians and traffic lights. The result is a
-//! small image with exactly the visual structure an imitation-learning
-//! lane-keeping network needs: lane markings, road edges, obstacles, and
-//! weather-dependent lighting and fog.
+//! the ground plane plus billboard sprites for vehicles, pedestrians and
+//! traffic lights. The result is a small image with exactly the visual
+//! structure an imitation-learning lane-keeping network needs: lane
+//! markings, road edges, obstacles, and weather-dependent lighting and fog.
+//!
+//! Two ground passes produce bit-identical pixels:
+//!
+//! - [`Camera::render_into`] (the default) classifies each image row in
+//!   *spans*: within one row the ground hits march along a straight
+//!   world-space line, so material boundaries are solved analytically via
+//!   [`Map::classify_ground_row`] and whole constant-material runs are
+//!   filled at once.
+//! - [`Camera::render_into_reference`] samples [`Map::material_at`] per
+//!   pixel through a cursor. It is kept as the differential oracle for the
+//!   span path — golden-image and property tests assert the two agree bit
+//!   for bit.
 
-use crate::map::{Map, Material};
+use crate::map::{Map, Material, RowLine, SpanScratch};
 use crate::math::{Pose, Vec2};
 use crate::sensors::{Image, Rgb};
 use crate::weather::Weather;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// A vertical sprite rendered by the camera (vehicle, pedestrian, traffic
 /// light head).
@@ -80,8 +92,11 @@ impl Default for CameraConfig {
 /// heading rotation is purely about the vertical axis, each pixel's ray
 /// elevation — and therefore its sky/ground classification, ground-hit
 /// offsets in the camera frame, and hit distance — depends only on the
-/// intrinsics and pitch, never on the ego pose. Rendering a frame then
-/// reduces to one table lookup plus a map material query per pixel.
+/// intrinsics and pitch, never on the ego pose. On top of the table sit
+/// per-row summaries (sky rows, the contiguous in-range ground run, the
+/// row's forward offset and lateral half-spread) that let the span
+/// renderer skip per-pixel work, and per-weather fog-blend tables that
+/// replace the per-pixel `exp` with a lookup.
 #[derive(Debug, Clone)]
 pub struct Camera {
     config: CameraConfig,
@@ -94,6 +109,18 @@ pub struct Camera {
     cos_pitch: f64,
     /// Row-major per-pixel ray classification.
     rays: Vec<PixelRay>,
+    /// Per-row summary of `rays`.
+    rows: Vec<RowMeta>,
+    /// Per-weather fog blend factors, `(fog_density bits, per-pixel
+    /// `1 − e^(−fog·dist)` table)`; 0 for non-ground pixels.
+    fog_tables: Vec<(u64, Vec<f32>)>,
+}
+
+thread_local! {
+    /// Reusable span-classifier buffers, one set per rendering thread, so
+    /// the steady-state frame loop stays allocation-free without making
+    /// [`Camera`] carry interior mutability.
+    static SPAN_SCRATCH: RefCell<SpanScratch> = RefCell::new(SpanScratch::new());
 }
 
 /// Pose-independent classification of one pixel's view ray.
@@ -112,6 +139,48 @@ enum PixelRay {
         /// Slant ground distance from the camera, meters.
         dist: f64,
     },
+}
+
+/// Pose-independent summary of one image row.
+#[derive(Debug, Clone, Copy)]
+enum RowMeta {
+    /// Every pixel of the row is sky (`dz` is row-constant).
+    Sky,
+    /// Below-horizon row: pixels in `[g0, g1)` hit the ground in range
+    /// (the run is contiguous because the hit distance is symmetric in the
+    /// pixel column and increases toward the edges); the rest are haze.
+    Ground {
+        /// First in-range ground pixel.
+        g0: u32,
+        /// One past the last in-range ground pixel.
+        g1: u32,
+        /// Ground-hit offset along the heading direction (row-constant),
+        /// meters.
+        fwd: f64,
+        /// Lateral spread factor `t · tan(fov_h/2)`: the rightward hit
+        /// offset of pixel `x` is `k · (2(x+0.5)/w − 1)`, meters.
+        k: f64,
+    },
+}
+
+/// Per-frame derived state shared by both ground passes and the billboard
+/// pass: palette, fog, and the camera basis.
+struct FrameCtx {
+    ambient: f32,
+    fog: f64,
+    sky: Rgb,
+    haze: Rgb,
+    /// Ambient-shaded color per [`Material`] (indexed by discriminant).
+    shaded: [Rgb; 6],
+    /// Ego forward direction (unit).
+    f2: Vec2,
+    /// Camera ground position (hood mount).
+    cam_xy: Vec2,
+    /// Ego right direction (unit).
+    right2: Vec2,
+    fwd3: Vec3,
+    right3: Vec3,
+    up3: Vec3,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -153,13 +222,14 @@ impl Camera {
         // independent of the ego pose, as is the ground-hit parameter
         // t = mount_height / -d.z and the slant distance t·√(a² + b²).
         let mut rays = Vec::with_capacity(w * h);
+        let mut rows = Vec::with_capacity(h);
         for y in 0..h {
             let v_n = 1.0 - 2.0 * (y as f64 + 0.5) / h as f64;
+            let a = cp + sp * v_n * tan_v;
+            let dz = -sp + cp * v_n * tan_v;
             for x in 0..w {
                 let u_n = 2.0 * (x as f64 + 0.5) / w as f64 - 1.0;
-                let a = cp + sp * v_n * tan_v;
                 let b = u_n * tan_h;
-                let dz = -sp + cp * v_n * tan_v;
                 rays.push(if dz >= -1e-6 {
                     PixelRay::Sky
                 } else {
@@ -176,7 +246,44 @@ impl Camera {
                     }
                 });
             }
+            if dz >= -1e-6 {
+                rows.push(RowMeta::Sky);
+            } else {
+                let t = config.mount_height / -dz;
+                let row_rays = &rays[y * w..(y + 1) * w];
+                let is_ground = |r: &PixelRay| matches!(r, PixelRay::Ground { .. });
+                let g0 = row_rays.iter().position(is_ground).unwrap_or(0);
+                let g1 = row_rays.iter().rposition(is_ground).map_or(0, |i| i + 1);
+                debug_assert!(
+                    row_rays[g0..g1].iter().all(is_ground),
+                    "in-range ground run must be contiguous (row {y})"
+                );
+                rows.push(RowMeta::Ground {
+                    g0: g0 as u32,
+                    g1: g1 as u32,
+                    fwd: a * t,
+                    k: t * tan_h,
+                });
+            }
         }
+
+        let mut fog_tables: Vec<(u64, Vec<f32>)> = Vec::new();
+        for weather in Weather::ALL {
+            let fog = weather.fog_density();
+            let key = fog.to_bits();
+            if fog <= 0.0 || fog_tables.iter().any(|(k, _)| *k == key) {
+                continue;
+            }
+            let table = rays
+                .iter()
+                .map(|r| match *r {
+                    PixelRay::Ground { dist, .. } => (1.0 - (-fog * dist).exp()) as f32,
+                    _ => 0.0,
+                })
+                .collect();
+            fog_tables.push((key, table));
+        }
+
         Camera {
             config,
             tan_h,
@@ -184,12 +291,59 @@ impl Camera {
             sin_pitch: sp,
             cos_pitch: cp,
             rays,
+            rows,
+            fog_tables,
         }
     }
 
     /// Camera configuration.
     pub fn config(&self) -> &CameraConfig {
         &self.config
+    }
+
+    /// Palette and camera basis for one frame.
+    fn frame_ctx(&self, scene: &RenderScene<'_>, ego: Pose) -> FrameCtx {
+        let ambient = scene.weather.ambient_light() as f32;
+        let (sp, cp) = (self.sin_pitch, self.cos_pitch);
+        let f2 = ego.forward();
+        let cam_xy = ego.position + f2 * self.config.hood_offset;
+        let right2 = Vec2::new(f2.y, -f2.x);
+        let mut shaded = [[0.0f32; 3]; 6];
+        for m in [
+            Material::Grass,
+            Material::Sidewalk,
+            Material::Road,
+            Material::MarkCenter,
+            Material::MarkEdge,
+            Material::Building,
+        ] {
+            shaded[m as usize] = scale(material_color(m), ambient);
+        }
+        FrameCtx {
+            ambient,
+            fog: scene.weather.fog_density(),
+            sky: scale([0.55, 0.70, 0.95], ambient),
+            haze: scale([0.72, 0.74, 0.78], ambient),
+            shaded,
+            f2,
+            cam_xy,
+            right2,
+            fwd3: Vec3 {
+                x: f2.x * cp,
+                y: f2.y * cp,
+                z: -sp,
+            },
+            right3: Vec3 {
+                x: right2.x,
+                y: right2.y,
+                z: 0.0,
+            },
+            up3: Vec3 {
+                x: f2.x * sp,
+                y: f2.y * sp,
+                z: cp,
+            },
+        }
     }
 
     /// Renders the scene from the ego pose into a fresh image.
@@ -202,75 +356,135 @@ impl Camera {
     }
 
     /// Renders the scene from the ego pose, reusing `img`'s allocation.
+    ///
+    /// This is the span-based ground pass: each row's material boundaries
+    /// are solved analytically once and constant-material runs are filled
+    /// whole, with fog blended from a precomputed per-weather table. The
+    /// output is bit-identical to [`Camera::render_into_reference`].
     pub fn render_into(&self, scene: &RenderScene<'_>, ego: Pose, img: &mut Image) {
-        let cfg = &self.config;
-        let w = cfg.width;
-        let h = cfg.height;
+        let w = self.config.width;
+        let h = self.config.height;
         img.reshape(w, h);
-
-        let ambient = scene.weather.ambient_light() as f32;
-        let fog = scene.weather.fog_density();
-        let sky: Rgb = scale([0.55, 0.70, 0.95], ambient);
-        let haze: Rgb = scale([0.72, 0.74, 0.78], ambient);
-
-        // Camera basis.
-        let (sp, cp) = (self.sin_pitch, self.cos_pitch);
-        let f2 = ego.forward();
-        let cam_xy = ego.position + f2 * cfg.hood_offset;
-        let right2 = Vec2::new(f2.y, -f2.x);
-        let fwd = Vec3 {
-            x: f2.x * cp,
-            y: f2.y * cp,
-            z: -sp,
-        };
-        let right = Vec3 {
-            x: right2.x,
-            y: right2.y,
-            z: 0.0,
-        };
-        let up = Vec3 {
-            x: f2.x * sp,
-            y: f2.y * sp,
-            z: cp,
-        };
-        let (tan_h, tan_v) = (self.tan_h, self.tan_v);
-
-        // Ground / sky pass: table lookup per pixel; only ground hits pay
-        // for a material query and (in weather with fog) an `exp`. The
-        // ambient-shaded palette is hoisted out of the loop, and the
-        // material queries go through a cursor so consecutive pixels that
-        // sample the same map cell skip cell resolution.
-        let shaded = {
-            let mut table = [[0.0f32; 3]; 6];
-            for m in [
-                Material::Grass,
-                Material::Sidewalk,
-                Material::Road,
-                Material::MarkCenter,
-                Material::MarkEdge,
-                Material::Building,
-            ] {
-                table[m as usize] = scale(material_color(m), ambient);
+        let ctx = self.frame_ctx(scene, ego);
+        let fog_table = self
+            .fog_tables
+            .iter()
+            .find(|(k, _)| *k == ctx.fog.to_bits())
+            .map(|(_, t)| t.as_slice());
+        SPAN_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let data = img.data_mut();
+            for y in 0..h {
+                let row = &mut data[y * w * 3..(y + 1) * w * 3];
+                match self.rows[y] {
+                    RowMeta::Sky => fill_span(row, 0, w as u32, ctx.sky),
+                    RowMeta::Ground { g0, g1, fwd, k } => {
+                        fill_span(row, 0, g0, ctx.haze);
+                        fill_span(row, g1, w as u32, ctx.haze);
+                        if g0 >= g1 {
+                            continue;
+                        }
+                        let rays_row = &self.rays[y * w..(y + 1) * w];
+                        // Linear world-space model of the row: pixel x hits
+                        // base + x·step (the exact table values differ only by
+                        // rounding; the classifier probe-verifies with them).
+                        let r0 = k * (1.0 / w as f64 - 1.0);
+                        let step_r = 2.0 * k / w as f64;
+                        let base = Vec2::new(
+                            ctx.cam_xy.x + ctx.f2.x * fwd + ctx.right2.x * r0,
+                            ctx.cam_xy.y + ctx.f2.y * fwd + ctx.right2.y * r0,
+                        );
+                        let step = Vec2::new(ctx.right2.x * step_r, ctx.right2.y * step_r);
+                        let exact = |x: u32| -> Vec2 {
+                            match rays_row[x as usize] {
+                                PixelRay::Ground {
+                                    fwd: a, right: b, ..
+                                } => Vec2::new(
+                                    ctx.cam_xy.x + ctx.f2.x * a + ctx.right2.x * b,
+                                    ctx.cam_xy.y + ctx.f2.y * a + ctx.right2.y * b,
+                                ),
+                                _ => unreachable!("pixels in [g0, g1) are ground"),
+                            }
+                        };
+                        let fog_row = fog_table.map(|t| &t[y * w..(y + 1) * w]);
+                        let line = RowLine {
+                            base,
+                            step,
+                            x0: g0,
+                            x1: g1,
+                        };
+                        scene
+                            .map
+                            .classify_ground_row(&mut *scratch, line, exact, |s, e, mat| {
+                                let base_c = ctx.shaded[mat as usize];
+                                match fog_row {
+                                    Some(fogs) if ctx.fog > 0.0 => {
+                                        for x in s..e {
+                                            let c = mix(base_c, ctx.haze, fogs[x as usize]);
+                                            row[x as usize * 3..x as usize * 3 + 3]
+                                                .copy_from_slice(&c);
+                                        }
+                                    }
+                                    None if ctx.fog > 0.0 => {
+                                        for x in s..e {
+                                            let dist = match rays_row[x as usize] {
+                                                PixelRay::Ground { dist, .. } => dist,
+                                                _ => unreachable!(),
+                                            };
+                                            let fb = 1.0 - (-ctx.fog * dist).exp();
+                                            let c = mix(base_c, ctx.haze, fb as f32);
+                                            row[x as usize * 3..x as usize * 3 + 3]
+                                                .copy_from_slice(&c);
+                                        }
+                                    }
+                                    _ => fill_span(row, s, e, base_c),
+                                }
+                            });
+                    }
+                }
             }
-            table
-        };
+        });
+        self.billboard_pass(scene, &ctx, img);
+    }
+
+    /// Renders via the per-pixel reference path into a fresh image.
+    ///
+    /// Allocating convenience wrapper around
+    /// [`Camera::render_into_reference`].
+    pub fn render_reference(&self, scene: &RenderScene<'_>, ego: Pose) -> Image {
+        let mut img = Image::new(self.config.width, self.config.height);
+        self.render_into_reference(scene, ego, &mut img);
+        img
+    }
+
+    /// Renders the scene with the per-pixel reference ground pass.
+    ///
+    /// One table lookup plus one [`Map`] material query per pixel. This is
+    /// the differential oracle for the span renderer: slower, but with no
+    /// analytic machinery to get wrong. [`Camera::render_into`] must match
+    /// it bit for bit.
+    pub fn render_into_reference(&self, scene: &RenderScene<'_>, ego: Pose, img: &mut Image) {
+        let w = self.config.width;
+        let h = self.config.height;
+        img.reshape(w, h);
+        let ctx = self.frame_ctx(scene, ego);
         let mut materials = scene.map.material_cursor();
         for (px, ray) in img.data_mut().chunks_exact_mut(3).zip(&self.rays) {
             let color = match *ray {
-                PixelRay::Sky => sky,
-                PixelRay::Haze => haze,
+                PixelRay::Sky => ctx.sky,
+                PixelRay::Haze => ctx.haze,
                 PixelRay::Ground {
                     fwd: a,
                     right: b,
                     dist,
                 } => {
-                    let gx = cam_xy.x + f2.x * a + right2.x * b;
-                    let gy = cam_xy.y + f2.y * a + right2.y * b;
+                    let gx = ctx.cam_xy.x + ctx.f2.x * a + ctx.right2.x * b;
+                    let gy = ctx.cam_xy.y + ctx.f2.y * a + ctx.right2.y * b;
                     let mat = materials.material_at(Vec2::new(gx, gy));
-                    let base = shaded[mat as usize];
-                    if fog > 0.0 {
-                        let fb = 1.0 - (-fog * dist).exp();
-                        mix(base, haze, fb as f32)
+                    let base = ctx.shaded[mat as usize];
+                    if ctx.fog > 0.0 {
+                        let fb = 1.0 - (-ctx.fog * dist).exp();
+                        mix(base, ctx.haze, fb as f32)
                     } else {
                         base
                     }
@@ -278,10 +492,16 @@ impl Camera {
             };
             px.copy_from_slice(&color);
         }
+        self.billboard_pass(scene, &ctx, img);
+    }
 
-        // Billboard pass, far to near. Scenes carry a handful of sprites,
-        // so the depth sort runs in a stack buffer (heap fallback for
-        // oversized scenes) to keep the steady-state frame allocation-free.
+    /// Billboard pass, far to near. Scenes carry a handful of sprites, so
+    /// the depth sort runs in a stack buffer (heap fallback for oversized
+    /// scenes) to keep the steady-state frame allocation-free.
+    fn billboard_pass(&self, scene: &RenderScene<'_>, ctx: &FrameCtx, img: &mut Image) {
+        let cfg = &self.config;
+        let (w, h) = (cfg.width, cfg.height);
+        let (tan_h, tan_v) = (self.tan_h, self.tan_v);
         const STACK_BOARDS: usize = 64;
         let mut stack = [(0.0f64, 0u32); STACK_BOARDS];
         let mut heap: Vec<(f64, u32)> = Vec::new();
@@ -289,11 +509,11 @@ impl Camera {
         let mut n = 0usize;
         for (i, b) in scene.billboards.iter().enumerate() {
             let rel = Vec3 {
-                x: b.position.x - cam_xy.x,
-                y: b.position.y - cam_xy.y,
+                x: b.position.x - ctx.cam_xy.x,
+                y: b.position.y - ctx.cam_xy.y,
                 z: -cfg.mount_height,
             };
-            let depth = rel.dot(fwd);
+            let depth = rel.dot(ctx.fwd3);
             if depth > 0.5 && depth < cfg.max_range {
                 if use_heap {
                     heap.push((depth, i as u32));
@@ -320,16 +540,16 @@ impl Camera {
             let b = &scene.billboards[i as usize];
             let project = |z_world: f64| -> Option<(f64, f64, f64)> {
                 let rel = Vec3 {
-                    x: b.position.x - cam_xy.x,
-                    y: b.position.y - cam_xy.y,
+                    x: b.position.x - ctx.cam_xy.x,
+                    y: b.position.y - ctx.cam_xy.y,
                     z: z_world - cfg.mount_height,
                 };
-                let xc = rel.dot(fwd);
+                let xc = rel.dot(ctx.fwd3);
                 if xc < 0.3 {
                     return None;
                 }
-                let yc = rel.dot(right);
-                let zc = rel.dot(up);
+                let yc = rel.dot(ctx.right3);
+                let zc = rel.dot(ctx.up3);
                 let u_n = yc / (xc * tan_h);
                 let v_n = zc / (xc * tan_v);
                 let px = (u_n + 1.0) * 0.5 * w as f64;
@@ -341,8 +561,8 @@ impl Camera {
                 continue;
             };
             let half_w_px = (b.radius / (depth * tan_h)) * w as f64 * 0.5;
-            let fb = (1.0 - (-fog * depth).exp()) as f32;
-            let color = mix(scale(b.color, ambient), haze, fb);
+            let fb = (1.0 - (-ctx.fog * depth).exp()) as f32;
+            let color = mix(scale(b.color, ctx.ambient), ctx.haze, fb);
             img.fill_rect(
                 (x_b - half_w_px).round() as i64,
                 y_t.round() as i64,
@@ -351,6 +571,14 @@ impl Camera {
                 color,
             );
         }
+    }
+}
+
+/// Fills pixels `[s, e)` of one row slice with a constant color.
+#[inline]
+fn fill_span(row: &mut [f32], s: u32, e: u32, c: Rgb) {
+    for px in row[s as usize * 3..e as usize * 3].chunks_exact_mut(3) {
+        px.copy_from_slice(&c);
     }
 }
 
@@ -422,6 +650,33 @@ mod tests {
         let mut reused = Image::filled(3, 5, [0.9, 0.1, 0.9]);
         cam.render_into(&scene, ego, &mut reused);
         assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn span_path_matches_reference_path() {
+        let map = town();
+        let cam = Camera::new(CameraConfig::default());
+        let base_ego = ego_on_lane(&map);
+        for weather in Weather::ALL {
+            for (dx, dh) in [(0.0, 0.0), (1.3, 0.4), (-2.1, 2.7), (17.0, -1.1)] {
+                let ego = Pose::new(
+                    base_ego.position + Vec2::new(dx, -dx * 0.6),
+                    base_ego.heading + dh,
+                );
+                let scene = RenderScene {
+                    map: &map,
+                    weather,
+                    billboards: &[],
+                };
+                let span = cam.render(&scene, ego);
+                let reference = cam.render_reference(&scene, ego);
+                assert_eq!(
+                    span.data(),
+                    reference.data(),
+                    "span/reference mismatch: weather {weather:?}, dx {dx}, dh {dh}"
+                );
+            }
+        }
     }
 
     #[test]

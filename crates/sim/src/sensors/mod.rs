@@ -5,12 +5,14 @@
 //! location). These are the sensor payloads AVFI's *data fault* injectors
 //! corrupt in flight.
 
+pub mod avimg;
 mod camera;
 mod gps;
 mod image;
 mod imu;
 mod lidar;
 
+pub use avimg::{avimg_checksum, decode_avimg, encode_avimg, read_avimg, write_avimg};
 pub use camera::{Billboard, Camera, CameraConfig, RenderScene};
 pub use gps::{Gps, GpsConfig, GpsFix};
 pub use image::{Image, Rgb};

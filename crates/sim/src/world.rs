@@ -527,6 +527,44 @@ impl World {
         };
     }
 
+    /// Renders the current frame's camera image through the per-pixel
+    /// *reference* path, with the same billboard set [`World::observe`]
+    /// draws.
+    ///
+    /// The normal observation path renders with the analytic span
+    /// rasterizer; this is its differential oracle, used by the golden
+    /// corpus tool and equivalence tests. Does not advance any sensor RNG.
+    pub fn render_camera_reference(&mut self) -> Image {
+        let mut billboards = std::mem::take(&mut self.scratch_billboards);
+        billboards.clear();
+        self.fill_billboards(&mut billboards);
+        let scene = RenderScene {
+            map: &self.map,
+            weather: self.weather(),
+            billboards: &billboards,
+        };
+        let img = self.camera.render_reference(&scene, self.ego.pose);
+        self.scratch_billboards = billboards;
+        img
+    }
+
+    /// Renders the current frame's camera image through the default span
+    /// path, with the same billboard set [`World::observe`] draws. Does
+    /// not advance any sensor RNG.
+    pub fn render_camera(&mut self) -> Image {
+        let mut billboards = std::mem::take(&mut self.scratch_billboards);
+        billboards.clear();
+        self.fill_billboards(&mut billboards);
+        let scene = RenderScene {
+            map: &self.map,
+            weather: self.weather(),
+            billboards: &billboards,
+        };
+        let img = self.camera.render(&scene, self.ego.pose);
+        self.scratch_billboards = billboards;
+        img
+    }
+
     fn snapshot(&self) -> EgoSnapshot {
         EgoSnapshot {
             position: self.ego.pose.position,

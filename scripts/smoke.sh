@@ -9,6 +9,11 @@
 # in blackbox mode, replays every emitted trace (bit-identity check), and
 # golden-diffs the triage report.
 #
+# A camera tier renders the deterministic golden-image corpus through both
+# camera ground passes (span + per-pixel reference), fails if they ever
+# disagree, and diffs the span output bit-for-bit against the checked-in
+# .avimg artifacts in results/golden/camera/.
+#
 # Usage: scripts/smoke.sh [--bless]
 #   --bless   regenerate the goldens instead of diffing against them
 #
@@ -97,6 +102,20 @@ elif ! diff -u "$GOLDEN_DIR/${TRACE_BIN}_triage.json" "$SMOKE_DIR/${TRACE_BIN}_t
   echo "smoke FAIL: triage report drifted from $GOLDEN_DIR/${TRACE_BIN}_triage.json" >&2
   echo "  (if the change is intentional, rerun: scripts/smoke.sh --bless)" >&2
   fail=1
+fi
+
+# Camera tier: golden-image corpus, span-vs-reference differential check
+# plus bit-exact diff against the checked-in .avimg artifacts.
+if [[ "$BLESS" == 1 ]]; then
+  echo "==> smoke: camera_golden --bless"
+  target/release/camera_golden --bless "$GOLDEN_DIR/camera"
+else
+  echo "==> smoke: camera_golden --check"
+  if ! target/release/camera_golden --check "$GOLDEN_DIR/camera"; then
+    echo "smoke FAIL: camera corpus drifted from $GOLDEN_DIR/camera" >&2
+    echo "  (if the change is intentional, rerun: scripts/smoke.sh --bless)" >&2
+    fail=1
+  fi
 fi
 
 if [[ "$fail" != 0 ]]; then
