@@ -6,9 +6,11 @@
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin ext_a_apk [--quick]
 //! [--workers N] [--progress]
-//! [--trace DIR] [--trace-level off|summary|blackbox]`
+//! [--trace DIR] [--trace-level off|summary|blackbox] [--shrink DIR]`
 
-use avfi_bench::experiments::{export_json, input_fault_study, ExecOptions, Scale};
+use avfi_bench::experiments::{
+    export_json, input_fault_study, shrink_after_study, ExecOptions, Scale,
+};
 use avfi_core::{metrics, report, stats};
 
 fn main() {
@@ -45,4 +47,5 @@ fn main() {
         table.render()
     );
     export_json("ext_a_apk", &results);
+    shrink_after_study(&opts);
 }

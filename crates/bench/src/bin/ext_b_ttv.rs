@@ -8,9 +8,11 @@
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin ext_b_ttv [--quick]
 //! [--workers N] [--progress]
-//! [--trace DIR] [--trace-level off|summary|blackbox]`
+//! [--trace DIR] [--trace-level off|summary|blackbox] [--shrink DIR]`
 
-use avfi_bench::experiments::{export_json, neural_agent, run_study, ExecOptions, Scale};
+use avfi_bench::experiments::{
+    export_json, neural_agent, run_study, shrink_after_study, ExecOptions, Scale,
+};
 use avfi_core::fault::input::{ImageFault, InputFault};
 use avfi_core::fault::FaultSpec;
 use avfi_core::{metrics, report, stats};
@@ -51,4 +53,5 @@ fn main() {
         table.render()
     );
     export_json("ext_b_ttv", &results);
+    shrink_after_study(&opts);
 }

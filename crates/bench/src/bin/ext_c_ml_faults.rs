@@ -8,9 +8,11 @@
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin ext_c_ml_faults
 //! [--quick] [--workers N] [--progress]
-//! [--trace DIR] [--trace-level off|summary|blackbox]`
+//! [--trace DIR] [--trace-level off|summary|blackbox] [--shrink DIR]`
 
-use avfi_bench::experiments::{export_json, neural_agent, run_study, ExecOptions, Scale};
+use avfi_bench::experiments::{
+    export_json, neural_agent, run_study, shrink_after_study, ExecOptions, Scale,
+};
 use avfi_core::fault::ml::MlFault;
 use avfi_core::fault::FaultSpec;
 use avfi_core::localizer::ParamSelector;
@@ -51,4 +53,5 @@ fn main() {
         table.render()
     );
     export_json("ext_c_ml_faults", &results);
+    shrink_after_study(&opts);
 }

@@ -7,9 +7,11 @@
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin ext_d_hw_faults
 //! [--quick] [--workers N] [--progress]
-//! [--trace DIR] [--trace-level off|summary|blackbox]`
+//! [--trace DIR] [--trace-level off|summary|blackbox] [--shrink DIR]`
 
-use avfi_bench::experiments::{export_json, neural_agent, run_study, ExecOptions, Scale};
+use avfi_bench::experiments::{
+    export_json, neural_agent, run_study, shrink_after_study, ExecOptions, Scale,
+};
 use avfi_core::fault::hardware::{BitFaultModel, HardwareFault, HardwareTarget};
 use avfi_core::fault::FaultSpec;
 use avfi_core::trigger::Trigger;
@@ -71,4 +73,5 @@ fn main() {
         table.render()
     );
     export_json("ext_d_hw_faults", &results);
+    shrink_after_study(&opts);
 }

@@ -6,12 +6,15 @@
 //!
 //! * `--weights PATH` — serialized IL-CNN weights for neural traces
 //!   (defaults to the cached deterministic training run when needed).
+//! * `--json` — print one machine-readable JSON array to stdout (per
+//!   trace: match/diverged/error status, frames and events checked,
+//!   first divergent frame) instead of the human lines.
 //!
 //! Exit status is nonzero when any trace fails to decode, cannot be
 //! replayed, or replays with a divergence.
 
 use avfi_bench::experiments::trained_weights;
-use avfi_core::replay::{replay_trace, ReplayVerdict};
+use avfi_core::replay::{replay_trace, ReplayRecord, ReplayVerdict};
 use avfi_trace::{list_trace_files, read_trace_file};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,15 +22,17 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut inputs: Vec<PathBuf> = Vec::new();
     let mut weights_path: Option<PathBuf> = None;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--weights" => weights_path = args.next().map(PathBuf::from),
+            "--json" => json = true,
             _ => inputs.push(PathBuf::from(arg)),
         }
     }
     if inputs.is_empty() {
-        eprintln!("usage: replay [--weights PATH] <trace file or dir>...");
+        eprintln!("usage: replay [--weights PATH] [--json] <trace file or dir>...");
         return ExitCode::from(2);
     }
 
@@ -59,11 +64,14 @@ fn main() -> ExitCode {
     });
 
     let (mut matched, mut failed) = (0usize, 0usize);
+    let mut records: Vec<ReplayRecord> = Vec::new();
     for path in &files {
+        let file = path.display().to_string();
         let trace = match read_trace_file(path) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("[replay] {e}");
+                records.push(ReplayRecord::from_error(&file, &e));
                 failed += 1;
                 continue;
             }
@@ -83,29 +91,45 @@ fn main() -> ExitCode {
             None
         };
         match replay_trace(&trace, weights) {
-            Ok(ReplayVerdict::Match {
-                frames_checked,
-                events_checked,
-            }) => {
-                matched += 1;
-                println!(
-                    "{}: MATCH ({} frames, {} events bit-identical)",
-                    path.display(),
-                    frames_checked,
-                    events_checked
-                );
-            }
-            Ok(ReplayVerdict::Diverged(d)) => {
-                failed += 1;
-                println!("{}: DIVERGED at {d}", path.display());
+            Ok(verdict) => {
+                records.push(ReplayRecord::from_verdict(&file, &verdict));
+                match verdict {
+                    ReplayVerdict::Match {
+                        frames_checked,
+                        events_checked,
+                    } => {
+                        matched += 1;
+                        if !json {
+                            println!(
+                                "{file}: MATCH ({frames_checked} frames, \
+                                 {events_checked} events bit-identical)"
+                            );
+                        }
+                    }
+                    ReplayVerdict::Diverged(d) => {
+                        failed += 1;
+                        if !json {
+                            println!("{file}: DIVERGED at {d}");
+                        }
+                    }
+                }
             }
             Err(e) => {
+                records.push(ReplayRecord::from_error(&file, &e));
                 failed += 1;
-                println!("{}: ERROR {e}", path.display());
+                if !json {
+                    println!("{file}: ERROR {e}");
+                }
             }
         }
     }
-    println!(
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&records).expect("records serialize")
+        );
+    }
+    eprintln!(
         "[replay] {matched}/{} traces replayed bit-identically",
         files.len()
     );

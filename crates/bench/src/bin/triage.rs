@@ -3,8 +3,12 @@
 //! latency, and violation-kind histograms, grouped per campaign.
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin triage -- <TRACE-DIR>
-//! [--out FILE.json]` — prints the per-campaign triage tables and
-//! optionally writes the machine-readable report (golden-diff friendly).
+//! [--out FILE.json] [--cross FILE.json]` — prints the per-campaign
+//! triage tables (plus the cross-campaign failure-class view) and
+//! optionally writes the machine-readable report (`--out`,
+//! golden-diff friendly) and the cross-campaign grouping (`--cross`):
+//! identical (outcome, first violation, causal channel) classes
+//! aggregated across every campaign in the directory.
 
 use avfi_core::triage::TriageReport;
 use std::path::PathBuf;
@@ -13,15 +17,17 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut dir: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
+    let mut cross: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out = args.next().map(PathBuf::from),
+            "--cross" => cross = args.next().map(PathBuf::from),
             _ => dir = Some(PathBuf::from(arg)),
         }
     }
     let Some(dir) = dir else {
-        eprintln!("usage: triage <trace-dir> [--out FILE.json]");
+        eprintln!("usage: triage <trace-dir> [--out FILE.json] [--cross FILE.json]");
         return ExitCode::from(2);
     };
 
@@ -45,6 +51,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         eprintln!("[triage] wrote {}", path.display());
+    }
+    if let Some(path) = cross {
+        let groups = report.cross_campaign();
+        let json = serde_json::to_string_pretty(&groups).expect("groups serialize");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("[triage] cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "[triage] wrote {} ({} cross-campaign class(es))",
+            path.display(),
+            groups.len()
+        );
     }
     ExitCode::SUCCESS
 }

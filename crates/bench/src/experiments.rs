@@ -15,11 +15,12 @@ use avfi_core::engine::{Engine, StderrProgress, StudyResult, TraceConfig, WorkPl
 use avfi_core::fault::input::{ImageFault, InputFault};
 use avfi_core::fault::timing::TimingFault;
 use avfi_core::fault::FaultSpec;
+use avfi_core::shrink::{shrink_trace, ShrinkConfig};
 use avfi_core::{metrics, report, stats};
 use avfi_sim::scenario::{Scenario, TownSpec};
 use avfi_sim::weather::Weather;
-use avfi_trace::TraceLevel;
-use std::path::PathBuf;
+use avfi_trace::{list_trace_files, read_trace_file, TraceLevel};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
 
 /// Experiment scale: `quick` for smoke tests and criterion, `full` for the
@@ -65,8 +66,9 @@ impl Scale {
 
 /// Engine execution options shared by every experiment binary:
 /// `--workers N` (0 = one per core), `--progress` (stream engine events
-/// to stderr), and the flight recorder (`--trace DIR` plus
-/// `--trace-level off|summary|blackbox`).
+/// to stderr), the flight recorder (`--trace DIR` plus
+/// `--trace-level off|summary|blackbox`), and post-study failure
+/// minimization (`--shrink DIR`, requires `--trace`).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecOptions {
     /// Engine worker threads (0 = one per available core).
@@ -77,11 +79,14 @@ pub struct ExecOptions {
     pub trace: Option<PathBuf>,
     /// Flight-recorder detail level (meaningful only with `trace`).
     pub trace_level: TraceLevel,
+    /// Minimal-repro output directory: after the study, every failed
+    /// trace is delta-debugged into a minimal repro (`None` disables).
+    pub shrink: Option<PathBuf>,
 }
 
 impl ExecOptions {
-    /// Parses `--workers N`, `--progress`, `--trace DIR`, and
-    /// `--trace-level LEVEL` from argv.
+    /// Parses `--workers N`, `--progress`, `--trace DIR`,
+    /// `--trace-level LEVEL`, and `--shrink DIR` from argv.
     pub fn from_args() -> ExecOptions {
         Self::parse(std::env::args())
     }
@@ -108,6 +113,7 @@ impl ExecOptions {
                         opts.trace_level = level;
                     }
                 }
+                "--shrink" => opts.shrink = args.next().map(PathBuf::from),
                 _ => {}
             }
         }
@@ -186,6 +192,135 @@ pub fn run_study(
         .pop()
         .expect("plan has one study")
         .campaigns
+}
+
+/// Flat-plan index encoded in a trace file name (`run-000042.avtr` →
+/// `42`), used to pair each minimal repro with its source trace.
+pub fn trace_flat_index(path: &Path) -> Option<usize> {
+    path.file_stem()?
+        .to_str()?
+        .strip_prefix("run-")?
+        .parse()
+        .ok()
+}
+
+/// Shrinks every failed trace in `files` into a minimal, replay-verified
+/// repro under `out_dir`: `minimal-{i:06}.json` (the repro) and
+/// `shrink-{i:06}.json` (the full candidate log), where `i` is the
+/// source trace's flat-plan index. Neural traces use `explicit_weights`
+/// when given, else the cached deterministic training run. Returns
+/// `(minimized, skipped)`; skipped covers unreadable traces, successful
+/// runs, and baseline mismatches (each reported to stderr).
+pub fn shrink_traces(
+    files: &[PathBuf],
+    out_dir: &Path,
+    workers: usize,
+    config: &ShrinkConfig,
+    explicit_weights: Option<&[u8]>,
+) -> (usize, usize) {
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("[shrink] cannot create {}: {e}", out_dir.display());
+        return (0, files.len());
+    }
+    let engine = Engine::new().workers(workers);
+    let (mut minimized, mut skipped) = (0usize, 0usize);
+    for (position, path) in files.iter().enumerate() {
+        let trace = match read_trace_file(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("[shrink] {e}");
+                skipped += 1;
+                continue;
+            }
+        };
+        let cached;
+        let weights: Option<&[u8]> = if trace.header.agent == "il-cnn" {
+            match explicit_weights {
+                Some(w) => Some(w),
+                None => {
+                    cached = trained_weights();
+                    Some(cached.as_slice())
+                }
+            }
+        } else {
+            None
+        };
+        // The repro embeds the bare file name, not the path: golden
+        // diffs must not depend on where the smoke dir landed.
+        let source = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let outcome = match shrink_trace(&engine, &source, &trace, weights, config) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("[shrink] {source}: {e}");
+                skipped += 1;
+                continue;
+            }
+        };
+        let index = trace_flat_index(path).unwrap_or(position);
+        let repro_path = out_dir.join(format!("minimal-{index:06}.json"));
+        let log_path = out_dir.join(format!("shrink-{index:06}.json"));
+        let repro_json = serde_json::to_string_pretty(&outcome.repro).expect("repro serializes");
+        let log_json = serde_json::to_string_pretty(&outcome.log).expect("log serializes");
+        if let Err(e) = std::fs::write(&repro_path, repro_json) {
+            eprintln!("[shrink] cannot write {}: {e}", repro_path.display());
+            skipped += 1;
+            continue;
+        }
+        if let Err(e) = std::fs::write(&log_path, log_json) {
+            eprintln!("[shrink] cannot write {}: {e}", log_path.display());
+        }
+        eprintln!(
+            "[shrink] {source}: {} reduction(s) in {} iteration(s), {} runs → {}",
+            outcome.repro.reductions.len(),
+            outcome.repro.iterations,
+            outcome.repro.runs_spent,
+            repro_path.display()
+        );
+        minimized += 1;
+    }
+    (minimized, skipped)
+}
+
+/// Post-study minimization hook: when `--shrink DIR` was given together
+/// with `--trace`, delta-debugs every failed trace the study just
+/// recorded into minimal repros under `DIR`.
+pub fn shrink_after_study(opts: &ExecOptions) {
+    let Some(out_dir) = &opts.shrink else { return };
+    let Some(trace_dir) = &opts.trace else {
+        eprintln!("[avfi-bench] --shrink requires --trace DIR (no traces recorded)");
+        return;
+    };
+    let files = match list_trace_files(trace_dir) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "[avfi-bench] --shrink: cannot list {}: {e}",
+                trace_dir.display()
+            );
+            return;
+        }
+    };
+    if files.is_empty() {
+        eprintln!(
+            "[avfi-bench] --shrink: no traces under {} (no failures recorded?)",
+            trace_dir.display()
+        );
+        return;
+    }
+    let (minimized, skipped) = shrink_traces(
+        &files,
+        out_dir,
+        opts.workers,
+        &ShrinkConfig::default(),
+        None,
+    );
+    eprintln!(
+        "[avfi-bench] shrink: {minimized} trace(s) minimized, {skipped} skipped → {}",
+        out_dir.display()
+    );
 }
 
 /// The evaluation scenario suite: unsignalized grid towns with light
@@ -540,6 +675,32 @@ mod tests {
         assert_eq!(o.trace_level, TraceLevel::Off);
         // No trace flags: recorder stays off.
         assert_eq!(ExecOptions::default().trace, None);
+    }
+
+    #[test]
+    fn exec_options_parse_shrink_flag() {
+        let args = |v: &[&str]| {
+            v.iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .into_iter()
+        };
+        let o = ExecOptions::parse(args(&["bin", "--trace", "t", "--shrink", "minimized/"]));
+        assert_eq!(
+            o.shrink.as_deref(),
+            Some(std::path::Path::new("minimized/"))
+        );
+        assert_eq!(ExecOptions::default().shrink, None);
+    }
+
+    #[test]
+    fn trace_index_round_trips_file_names() {
+        assert_eq!(
+            trace_flat_index(Path::new("traces/run-000042.avtr")),
+            Some(42)
+        );
+        assert_eq!(trace_flat_index(Path::new("run-123456.avtr")), Some(123456));
+        assert_eq!(trace_flat_index(Path::new("notes.txt")), None);
     }
 
     #[test]

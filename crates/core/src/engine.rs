@@ -327,6 +327,25 @@ impl TraceConfig {
     }
 }
 
+/// One ad-hoc evaluation job: a fully specified run at explicit
+/// `(scenario, run)` coordinates, outside any campaign plan.
+///
+/// The shrinker uses these to re-execute reduction candidates while
+/// holding the coordinates of the original failing run fixed, so every
+/// candidate derives its seed through the exact path the recorded run
+/// took.
+#[derive(Debug, Clone)]
+pub struct EvalJob {
+    /// Scenario template (the per-run seed is derived from it).
+    pub scenario: avfi_sim::scenario::Scenario,
+    /// Scenario index mixed into the seed derivation.
+    pub scenario_index: usize,
+    /// Run index mixed into the seed derivation.
+    pub run_index: usize,
+    /// Fault plan for the run.
+    pub fault: crate::fault::FaultSpec,
+}
+
 /// The execution engine: worker count, optional tracing, plan execution.
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
@@ -371,6 +390,67 @@ impl Engine {
     /// Executes a plan silently.
     pub fn execute(&self, plan: &WorkPlan) -> Vec<StudyResult> {
         self.execute_with(plan, &NullSink)
+    }
+
+    /// Evaluates ad-hoc jobs across the worker pool, returning
+    /// `(result, trace)` pairs **in job order** regardless of worker
+    /// count — the same cursor/preassigned-slot scheme as
+    /// [`Engine::execute_with`], so scheduling affects only wall-clock.
+    ///
+    /// Every job runs with the flight recorder on at `spec.level`
+    /// (at `Blackbox`, the trace is `Some` only for failed runs). Nothing
+    /// is written to disk and the engine's own [`TraceConfig`] is
+    /// ignored: callers own the traces.
+    pub fn evaluate_jobs(
+        &self,
+        jobs: &[EvalJob],
+        agent: &AgentSpec,
+        spec: &TraceSpec,
+    ) -> Vec<(RunResult, Option<avfi_trace::RunTrace>)> {
+        let total = jobs.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let workers = self.effective_workers(total);
+        type Slot = parking_lot::Mutex<Option<(RunResult, Option<avfi_trace::RunTrace>)>>;
+        let slots: Vec<Slot> = (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        {
+            let (slots, next) = (&slots, &next);
+            crossbeam::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(move |_| {
+                        let mut recorder = if spec.level == TraceLevel::Blackbox {
+                            Recorder::ring(spec.blackbox_frames.max(1))
+                        } else {
+                            Recorder::new(false)
+                        };
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= total {
+                                break;
+                            }
+                            let job = &jobs[i];
+                            let out = run_single_traced(
+                                &job.scenario,
+                                job.scenario_index,
+                                job.run_index,
+                                &job.fault,
+                                agent,
+                                spec,
+                                &mut recorder,
+                            );
+                            *slots[i].lock() = Some(out);
+                        }
+                    });
+                }
+            })
+            .expect("evaluation worker panicked");
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("all jobs completed"))
+            .collect()
     }
 
     /// Executes every run of `plan` across the worker pool, streaming
@@ -658,6 +738,59 @@ mod tests {
             }
             other => panic!("last event should be Finished, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn evaluate_jobs_is_worker_count_invariant_and_job_ordered() {
+        use crate::campaign::TraceSpec;
+        use crate::fault::hardware::{BitFaultModel, HardwareFault, HardwareTarget};
+        let stuck = FaultSpec::Hardware(HardwareFault::always(
+            HardwareTarget::ControlBrake,
+            BitFaultModel::StuckAt { value: 1.0 },
+        ));
+        // Roomy budget: the clean expert run must genuinely finish the
+        // mission, so only the stuck-brake jobs fail.
+        let scenario = quick_scenario(60).to_builder().time_budget(60.0).build();
+        let jobs: Vec<EvalJob> = (0..5)
+            .map(|i| EvalJob {
+                scenario: scenario.clone(),
+                scenario_index: 2,
+                run_index: 3,
+                fault: if i % 2 == 0 {
+                    stuck.clone()
+                } else {
+                    FaultSpec::None
+                },
+            })
+            .collect();
+        let spec = TraceSpec {
+            level: avfi_trace::TraceLevel::Blackbox,
+            study: "eval".to_string(),
+            blackbox_frames: 64,
+            weights_fingerprint: None,
+        };
+        let r1 = Engine::new()
+            .workers(1)
+            .evaluate_jobs(&jobs, &AgentSpec::Expert, &spec);
+        let r8 = Engine::new()
+            .workers(8)
+            .evaluate_jobs(&jobs, &AgentSpec::Expert, &spec);
+        assert_eq!(r1.len(), 5);
+        for ((res1, tr1), (res8, tr8)) in r1.iter().zip(&r8) {
+            assert_eq!(
+                serde_json::to_string(res1).unwrap(),
+                serde_json::to_string(res8).unwrap()
+            );
+            assert_eq!(tr1, tr8, "traces must be worker-count invariant");
+        }
+        // Stuck-brake jobs fail and carry a blackbox trace; clean runs
+        // emit none. Seeds come from the explicit coordinates.
+        assert!(r1[0].1.is_some());
+        assert!(r1[1].1.is_none());
+        let header = &r1[0].1.as_ref().unwrap().header;
+        assert_eq!(header.scenario_index, 2);
+        assert_eq!(header.run_index, 3);
+        assert_eq!(header.seed, header.derived_seed());
     }
 
     #[test]

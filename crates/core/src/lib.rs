@@ -29,8 +29,10 @@
 //! TTV); [`stats`] and [`report`] summarize and render results. The
 //! flight recorder (the `avfi-trace` crate) plugs in through
 //! [`engine::TraceConfig`]; [`replay`] re-executes any recorded run and
-//! verifies bit-identity, and [`triage`] walks failed-run traces to
-//! attribute each first violation to the injection that preceded it.
+//! verifies bit-identity, [`triage`] walks failed-run traces to
+//! attribute each first violation to the injection that preceded it, and
+//! [`shrink`] delta-debugs any failed trace into a minimal,
+//! replay-verified repro.
 //!
 //! ## Quick example
 //!
@@ -63,6 +65,7 @@ pub mod localizer;
 pub mod metrics;
 pub mod replay;
 pub mod report;
+pub mod shrink;
 pub mod stats;
 pub mod triage;
 pub mod trigger;
@@ -71,4 +74,5 @@ pub use campaign::{Campaign, CampaignConfig, CampaignResult, RunResult, TraceSpe
 pub use engine::{Engine, ProgressEvent, ProgressSink, StudyResult, TraceConfig, WorkPlan};
 pub use fault::FaultSpec;
 pub use harness::AvDriver;
+pub use shrink::{shrink_trace, MinimalRepro, ShrinkConfig, ShrinkOutcome};
 pub use trigger::Trigger;

@@ -13,8 +13,8 @@
 use crate::campaign::{run_single_traced, AgentSpec, TraceSpec};
 use crate::fault::FaultSpec;
 use avfi_sim::recorder::Recorder;
-use avfi_sim::rng::split_seed;
-use avfi_trace::{fingerprint, RunTrace, TraceLevel};
+use avfi_trace::{fingerprint, RunTrace, TraceHeader, TraceLevel};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
@@ -111,6 +111,94 @@ impl ReplayVerdict {
     }
 }
 
+/// Machine-readable digest of one replay attempt (the `replay --json`
+/// output row; also consumable by external tooling).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayRecord {
+    /// Trace file the attempt was made on.
+    pub file: String,
+    /// `"match"`, `"diverged"`, or `"error"`.
+    pub status: String,
+    /// Frames bit-compared (0 unless the replay ran to comparison).
+    pub frames_checked: usize,
+    /// Events compared.
+    pub events_checked: usize,
+    /// Frame of the first divergence, when frame-resolved.
+    pub first_divergent_frame: Option<u64>,
+    /// Divergence description or error message; `None` on a match.
+    pub detail: Option<String>,
+}
+
+impl ReplayRecord {
+    /// A record from a replay that ran to a verdict.
+    pub fn from_verdict(file: &str, verdict: &ReplayVerdict) -> Self {
+        match verdict {
+            ReplayVerdict::Match {
+                frames_checked,
+                events_checked,
+            } => ReplayRecord {
+                file: file.to_string(),
+                status: "match".to_string(),
+                frames_checked: *frames_checked,
+                events_checked: *events_checked,
+                first_divergent_frame: None,
+                detail: None,
+            },
+            ReplayVerdict::Diverged(d) => ReplayRecord {
+                file: file.to_string(),
+                status: "diverged".to_string(),
+                frames_checked: 0,
+                events_checked: 0,
+                first_divergent_frame: d.frame,
+                detail: Some(d.what.clone()),
+            },
+        }
+    }
+
+    /// A record from a replay that could not be attempted.
+    pub fn from_error(file: &str, error: &dyn fmt::Display) -> Self {
+        ReplayRecord {
+            file: file.to_string(),
+            status: "error".to_string(),
+            frames_checked: 0,
+            events_checked: 0,
+            first_divergent_frame: None,
+            detail: Some(error.to_string()),
+        }
+    }
+}
+
+/// Rebuilds the [`AgentSpec`] a trace header names, fingerprint-checking
+/// `weights` for neural traces (shared by replay and the shrinker).
+///
+/// # Errors
+///
+/// [`ReplayError::UnknownAgent`] for agent names this build does not
+/// know, [`ReplayError::MissingWeights`] /
+/// [`ReplayError::WeightsMismatch`] for neural traces without (matching)
+/// weights.
+pub fn agent_from_header(
+    header: &TraceHeader,
+    weights: Option<&[u8]>,
+) -> Result<AgentSpec, ReplayError> {
+    match header.agent.as_str() {
+        "expert" => Ok(AgentSpec::Expert),
+        "il-cnn" => {
+            let bytes = weights.ok_or(ReplayError::MissingWeights)?;
+            let provided = fingerprint(bytes);
+            if let Some(recorded) = header.weights_fingerprint {
+                if recorded != provided {
+                    return Err(ReplayError::WeightsMismatch { recorded, provided });
+                }
+            }
+            Ok(AgentSpec::Neural {
+                weights: Arc::new(bytes.to_vec()),
+            })
+        }
+        other => Err(ReplayError::UnknownAgent(other.to_string())),
+    }
+}
+
 /// Re-executes the run a trace records and verifies bit-identity.
 ///
 /// `weights` must be the serialized IL-CNN weights when the trace was
@@ -130,10 +218,7 @@ pub fn replay_trace(
     let fault: FaultSpec = serde_json::from_str(&header.fault_spec_json)
         .map_err(|e| ReplayError::BadFaultSpec(e.to_string()))?;
 
-    let derived = split_seed(
-        header.scenario.seed,
-        ((header.scenario_index as u64) << 32) | (header.run_index as u64 + 1),
-    );
+    let derived = header.derived_seed();
     if derived != header.seed {
         return Err(ReplayError::SeedMismatch {
             recorded: header.seed,
@@ -141,22 +226,7 @@ pub fn replay_trace(
         });
     }
 
-    let agent = match header.agent.as_str() {
-        "expert" => AgentSpec::Expert,
-        "il-cnn" => {
-            let bytes = weights.ok_or(ReplayError::MissingWeights)?;
-            let provided = fingerprint(bytes);
-            if let Some(recorded) = header.weights_fingerprint {
-                if recorded != provided {
-                    return Err(ReplayError::WeightsMismatch { recorded, provided });
-                }
-            }
-            AgentSpec::Neural {
-                weights: Arc::new(bytes.to_vec()),
-            }
-        }
-        other => return Err(ReplayError::UnknownAgent(other.to_string())),
-    };
+    let agent = agent_from_header(header, weights)?;
 
     let spec = TraceSpec {
         level: header.level,

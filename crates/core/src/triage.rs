@@ -15,6 +15,74 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
+/// The equivalence class of a failure: mission outcome, kind of the
+/// first violation, and the causally preceding injection channel.
+///
+/// Two runs in the same class failed *the same way* for triage purposes.
+/// The shrinker accepts a reduction only when the reduced run stays in
+/// the class of the original failure; the cross-campaign view groups
+/// failures by class to surface shared root causes. Including the
+/// outcome makes the class strictly finer than the ISSUE-minimum
+/// (violation kind, causal channel) pair: a timeout without any
+/// violation is a class of its own, and a reduction that silently flips
+/// a drove-through-it violation run into a timeout is rejected.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FailureClass {
+    /// Mission outcome name (`"timeout"`, `"stuck"`, or `"success"` for
+    /// runs that reached the goal but committed violations).
+    pub outcome: String,
+    /// Kind of the first violation, if any.
+    pub first_violation: Option<String>,
+    /// Channel of the injection causally preceding the first violation.
+    pub causal_channel: Option<String>,
+}
+
+impl std::fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} / {} / {}",
+            self.outcome,
+            self.first_violation.as_deref().unwrap_or("-"),
+            self.causal_channel.as_deref().unwrap_or("-"),
+        )
+    }
+}
+
+/// The failure class of a traced run, or `None` when the run is not a
+/// failure (mission succeeded with zero violations).
+pub fn failure_class(trace: &RunTrace) -> Option<FailureClass> {
+    if !trace.is_failure() {
+        return None;
+    }
+    let first = trace.first_violation();
+    let (kind, frame) = match first {
+        Some(TraceEvent::Violation { kind, frame, .. }) => (Some(kind.to_string()), Some(*frame)),
+        _ => (None, None),
+    };
+    let causal = frame
+        .and_then(|f| trace.last_injection_before(f))
+        .map(|(_, ch)| ch.label().to_string());
+    Some(FailureClass {
+        outcome: trace.summary.outcome.clone(),
+        first_violation: kind,
+        causal_channel: causal,
+    })
+}
+
+/// One cross-campaign failure group: every failed run, in any campaign,
+/// that shares a [`FailureClass`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossCampaignGroup {
+    /// The shared failure class.
+    pub class: FailureClass,
+    /// Total failed runs across campaigns in this class.
+    pub failures: usize,
+    /// `(campaign label, failures)` pairs, campaign label =
+    /// `study · fault · agent`, in report order.
+    pub campaigns: Vec<(String, usize)>,
+}
+
 /// Triage of one failed run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TriageEntry {
@@ -147,7 +215,72 @@ impl TriageReport {
         ))
     }
 
-    /// Renders the per-campaign triage tables.
+    /// Groups failures by [`FailureClass`] *across* campaigns — shared
+    /// root causes the per-campaign tables hide. Computed on demand (not
+    /// serialized with the report) and sorted by descending failure
+    /// count, then by class, so the view is deterministic.
+    pub fn cross_campaign(&self) -> Vec<CrossCampaignGroup> {
+        let mut groups: BTreeMap<FailureClass, Vec<(String, usize)>> = BTreeMap::new();
+        for c in &self.campaigns {
+            let label = format!("{} · {} · {}", c.study, c.fault, c.agent);
+            for e in &c.entries {
+                let class = FailureClass {
+                    outcome: e.outcome.clone(),
+                    first_violation: e.first_violation.clone(),
+                    causal_channel: e.causal_channel.clone(),
+                };
+                let campaigns = groups.entry(class).or_default();
+                match campaigns.iter_mut().find(|(l, _)| *l == label) {
+                    Some((_, n)) => *n += 1,
+                    None => campaigns.push((label.clone(), 1)),
+                }
+            }
+        }
+        let mut out: Vec<CrossCampaignGroup> = groups
+            .into_iter()
+            .map(|(class, campaigns)| CrossCampaignGroup {
+                failures: campaigns.iter().map(|(_, n)| n).sum(),
+                class,
+                campaigns,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.failures
+                .cmp(&a.failures)
+                .then_with(|| a.class.cmp(&b.class))
+        });
+        out
+    }
+
+    /// Renders the cross-campaign failure-class table.
+    pub fn render_cross_campaign(&self) -> String {
+        let groups = self.cross_campaign();
+        if groups.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from(
+            "cross-campaign failure classes (outcome / first violation / causal channel)\n",
+        );
+        let mut table = Table::new(vec!["class", "failures", "campaigns", "breakdown"]);
+        for g in &groups {
+            let breakdown: Vec<String> = g
+                .campaigns
+                .iter()
+                .map(|(label, n)| format!("{label}×{n}"))
+                .collect();
+            table.row(vec![
+                g.class.to_string(),
+                g.failures.to_string(),
+                g.campaigns.len().to_string(),
+                breakdown.join("  "),
+            ]);
+        }
+        out.push_str(&table.render());
+        out
+    }
+
+    /// Renders the per-campaign triage tables plus the cross-campaign
+    /// failure-class view.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for c in &self.campaigns {
@@ -204,6 +337,8 @@ impl TriageReport {
         }
         if self.campaigns.is_empty() {
             out.push_str("no failed runs to triage\n");
+        } else {
+            out.push_str(&self.render_cross_campaign());
         }
         out
     }
@@ -370,5 +505,56 @@ mod tests {
     fn empty_report_renders_placeholder() {
         let report = TriageReport::from_traces(std::iter::empty());
         assert!(report.render().contains("no failed runs"));
+    }
+
+    #[test]
+    fn failure_class_extracts_triple_and_skips_successes() {
+        let t = failed_trace("s", 0);
+        let class = failure_class(&t).expect("failed run has a class");
+        assert_eq!(class.outcome, "stuck");
+        assert_eq!(class.first_violation.as_deref(), Some("off-road"));
+        assert_eq!(class.causal_channel.as_deref(), Some("hw-control"));
+        assert_eq!(class.to_string(), "stuck / off-road / hw-control");
+
+        let mut ok = failed_trace("s", 1);
+        ok.summary.success = true;
+        ok.summary.violations = 0;
+        assert_eq!(failure_class(&ok), None);
+
+        // A timeout with no violation is a class of its own.
+        let mut quiet = failed_trace("s", 2);
+        quiet.summary.outcome = "timeout".to_string();
+        quiet.summary.violations = 0;
+        quiet
+            .events
+            .retain(|e| !matches!(e, TraceEvent::Violation { .. }));
+        let class = failure_class(&quiet).unwrap();
+        assert_eq!(class.first_violation, None);
+        assert_eq!(class.causal_channel, None);
+    }
+
+    #[test]
+    fn cross_campaign_groups_identical_classes_across_studies() {
+        // Same (outcome, violation, channel) triple in two different
+        // studies must land in one group; a distinct class gets its own.
+        let a = failed_trace("study-a", 0);
+        let b = failed_trace("study-b", 0);
+        let mut c = failed_trace("study-a", 1);
+        c.summary.outcome = "timeout".to_string();
+        let report = TriageReport::from_traces([
+            ("run-000000.avtr", &a),
+            ("run-000001.avtr", &b),
+            ("run-000002.avtr", &c),
+        ]);
+        let groups = report.cross_campaign();
+        assert_eq!(groups.len(), 2);
+        let shared = &groups[0];
+        assert_eq!(shared.failures, 2, "largest group first");
+        assert_eq!(shared.campaigns.len(), 2);
+        assert!(shared.campaigns[0].0.starts_with("study-a"));
+        assert!(shared.campaigns[1].0.starts_with("study-b"));
+        let rendered = report.render();
+        assert!(rendered.contains("cross-campaign failure classes"));
+        assert!(rendered.contains("stuck / off-road / hw-control"));
     }
 }

@@ -66,6 +66,15 @@ impl Scenario {
         }
     }
 
+    /// Reopens the scenario as a builder seeded with this scenario's
+    /// values — the reduction hook used by the shrinker to derive
+    /// candidate scenarios that differ on exactly one axis.
+    pub fn to_builder(&self) -> ScenarioBuilder {
+        ScenarioBuilder {
+            scenario: self.clone(),
+        }
+    }
+
     /// Samples a mission route on `map` using the scenario seed: a start
     /// drive lane and a goal drive lane at least `min_route_length` apart
     /// (by planned route length).

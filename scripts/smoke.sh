@@ -7,7 +7,12 @@
 #
 # A trace tier then reruns one faulted experiment with the flight recorder
 # in blackbox mode, replays every emitted trace (bit-identity check), and
-# golden-diffs the triage report.
+# golden-diffs the triage report plus the cross-campaign failure-class
+# grouping.
+#
+# A shrink tier delta-debugs one known-failing trace into a minimal,
+# replay-verified repro and diffs the repro JSON against its golden —
+# exercising the whole minimization lattice end to end.
 #
 # A camera tier renders the deterministic golden-image corpus through both
 # camera ground passes (span + per-pixel reference), fails if they ever
@@ -95,13 +100,54 @@ fi
 
 echo "==> smoke: triaging traces"
 target/release/triage "$TRACE_DIR" \
-  --out "$SMOKE_DIR/${TRACE_BIN}_triage.json" >"$SMOKE_DIR/triage.stdout" 2>&1
-if [[ "$BLESS" == 1 ]]; then
-  cp "$SMOKE_DIR/${TRACE_BIN}_triage.json" "$GOLDEN_DIR/${TRACE_BIN}_triage.json"
-elif ! diff -u "$GOLDEN_DIR/${TRACE_BIN}_triage.json" "$SMOKE_DIR/${TRACE_BIN}_triage.json"; then
-  echo "smoke FAIL: triage report drifted from $GOLDEN_DIR/${TRACE_BIN}_triage.json" >&2
-  echo "  (if the change is intentional, rerun: scripts/smoke.sh --bless)" >&2
+  --out "$SMOKE_DIR/${TRACE_BIN}_triage.json" \
+  --cross "$SMOKE_DIR/${TRACE_BIN}_cross.json" >"$SMOKE_DIR/triage.stdout" 2>&1
+for artifact in triage cross; do
+  if [[ "$BLESS" == 1 ]]; then
+    cp "$SMOKE_DIR/${TRACE_BIN}_${artifact}.json" "$GOLDEN_DIR/${TRACE_BIN}_${artifact}.json"
+  elif ! diff -u "$GOLDEN_DIR/${TRACE_BIN}_${artifact}.json" "$SMOKE_DIR/${TRACE_BIN}_${artifact}.json"; then
+    echo "smoke FAIL: $artifact report drifted from $GOLDEN_DIR/${TRACE_BIN}_${artifact}.json" >&2
+    echo "  (if the change is intentional, rerun: scripts/smoke.sh --bless)" >&2
+    fail=1
+  fi
+done
+
+# Shrink tier: delta-debug one known-failing trace into a minimal repro
+# (on 2 workers — the result is worker-count invariant by construction)
+# and golden-diff the repro. Also spot-check the machine-readable replay
+# output on the same trace.
+SHRINK_DIR="$SMOKE_DIR/minimized"
+first_trace=$(find "$TRACE_DIR" -name '*.avtr' 2>/dev/null | sort | head -1)
+if [[ -z "$first_trace" ]]; then
+  echo "smoke FAIL: no trace available to shrink" >&2
   fail=1
+else
+  echo "==> smoke: replay --json $(basename "$first_trace")"
+  target/release/replay --json "$first_trace" >"$SMOKE_DIR/replay.json"
+  if ! grep -q '"status": "match"' "$SMOKE_DIR/replay.json"; then
+    echo "smoke FAIL: replay --json did not report a match" >&2
+    fail=1
+  fi
+  echo "==> smoke: shrinking $(basename "$first_trace")"
+  if ! target/release/shrink --workers 2 --max-iterations 8 \
+      --out "$SHRINK_DIR" "$first_trace" \
+      >"$SMOKE_DIR/shrink.stdout" 2>"$SMOKE_DIR/shrink.stderr"; then
+    echo "smoke FAIL: shrink could not minimize $first_trace" >&2
+    cat "$SMOKE_DIR/shrink.stderr" >&2
+    fail=1
+  else
+    minimal=$(find "$SHRINK_DIR" -name 'minimal-*.json' | sort | head -1)
+    if [[ -z "$minimal" ]]; then
+      echo "smoke FAIL: shrink emitted no minimal-*.json" >&2
+      fail=1
+    elif [[ "$BLESS" == 1 ]]; then
+      cp "$minimal" "$GOLDEN_DIR/${TRACE_BIN}_shrink.json"
+    elif ! diff -u "$GOLDEN_DIR/${TRACE_BIN}_shrink.json" "$minimal"; then
+      echo "smoke FAIL: minimal repro drifted from $GOLDEN_DIR/${TRACE_BIN}_shrink.json" >&2
+      echo "  (if the change is intentional, rerun: scripts/smoke.sh --bless)" >&2
+      fail=1
+    fi
+  fi
 fi
 
 # Camera tier: golden-image corpus, span-vs-reference differential check
