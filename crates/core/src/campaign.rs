@@ -19,7 +19,11 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Which agent a campaign drives.
-#[derive(Debug, Clone)]
+///
+/// Serializable so campaign plans can cross the `avfi-server` wire: the
+/// neural variant ships its full weight blob, which is exactly what
+/// "rebuilt per run from serialized weights" needs on the receiving side.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum AgentSpec {
     /// The rule-based oracle autopilot.
     Expert,
@@ -116,7 +120,7 @@ pub struct RunResult {
 }
 
 /// Configuration of a campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Scenario templates; each gets `runs_per_scenario` derived-seed runs.
     pub scenarios: Vec<Scenario>,

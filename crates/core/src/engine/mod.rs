@@ -22,6 +22,12 @@
 //! completion, and per-worker utilization, so multi-hour campaigns are
 //! observable instead of silent. Event *ordering* follows scheduling and
 //! is therefore not deterministic; only the returned results are.
+//!
+//! [`pool`] lifts the same scheme into a *persistent* service shape: a
+//! [`MultiplexPool`](pool::MultiplexPool) keeps one long-lived worker
+//! pool and multiplexes many independently submitted plans onto it with
+//! fair round-robin scheduling and per-plan cancellation, while keeping
+//! every plan's results byte-identical to a solo [`Engine::execute`].
 
 use crate::campaign::{
     run_single, run_single_traced, AgentSpec, CampaignConfig, CampaignResult, RunResult, TraceSpec,
@@ -29,12 +35,21 @@ use crate::campaign::{
 use avfi_sim::recorder::Recorder;
 use avfi_sim::FRAME_DT;
 use avfi_trace::TraceLevel;
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+pub mod pool;
+
+pub use pool::{MultiplexPool, PlanEvent, PlanTicket};
+
 /// One named group of campaigns (e.g. "fig2 input faults").
-#[derive(Debug, Clone)]
+///
+/// Serializable so whole plans can cross the `avfi-server` wire; the
+/// neural agent's weights travel inside
+/// [`AgentSpec`](crate::campaign::AgentSpec).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StudyPlan {
     /// Study name, echoed in results and progress events.
     pub name: String,
@@ -44,7 +59,7 @@ pub struct StudyPlan {
 
 /// A complete execution plan: one or more studies, flattened by the
 /// engine into a single work-item queue.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct WorkPlan {
     studies: Vec<StudyPlan>,
 }
@@ -109,7 +124,9 @@ pub struct StudyResult {
 ///
 /// Events are emitted from worker threads as work completes; their order
 /// is scheduling-dependent (only final results are deterministic).
-#[derive(Debug, Clone)]
+/// Serializable so the campaign server can stream events to watching
+/// clients as wire frames.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ProgressEvent {
     /// Execution started.
     Started {
@@ -285,17 +302,91 @@ impl ProgressSink for CollectSink {
 
 /// A flattened work item: one (study, campaign, scenario, run) tuple.
 #[derive(Debug, Clone, Copy)]
-struct WorkItem {
+pub(crate) struct WorkItem {
     /// Study index within the plan.
-    study: usize,
+    pub(crate) study: usize,
     /// Campaign index within the study.
-    campaign: usize,
+    pub(crate) campaign: usize,
     /// Campaign index within the flattened campaign list.
-    flat_campaign: usize,
+    pub(crate) flat_campaign: usize,
     /// Scenario index within the campaign.
-    scenario: usize,
+    pub(crate) scenario: usize,
     /// Run index within the scenario.
-    run: usize,
+    pub(crate) run: usize,
+}
+
+/// Flattens a plan into its work-item queue, in plan order. Both the
+/// one-shot [`Engine`] and the persistent [`pool::MultiplexPool`] drain
+/// queues built here, so "flat plan index" means the same thing — and
+/// derives the same per-run seeds — in both execution modes.
+pub(crate) fn flatten_items(plan: &WorkPlan) -> Vec<WorkItem> {
+    let mut items = Vec::with_capacity(plan.total_runs());
+    let mut flat = 0usize;
+    for (study_idx, study) in plan.studies.iter().enumerate() {
+        for (campaign_idx, cfg) in study.campaigns.iter().enumerate() {
+            for scenario in 0..cfg.scenarios.len() {
+                for run in 0..cfg.runs_per_scenario {
+                    items.push(WorkItem {
+                        study: study_idx,
+                        campaign: campaign_idx,
+                        flat_campaign: flat,
+                        scenario,
+                        run,
+                    });
+                }
+            }
+            flat += 1;
+        }
+    }
+    items
+}
+
+/// Per-flat-campaign trace specs for a plan (study name + weights
+/// fingerprint are campaign-level facts; computing them once keeps them
+/// off the per-run path).
+pub(crate) fn plan_trace_specs(
+    plan: &WorkPlan,
+    level: TraceLevel,
+    blackbox_frames: usize,
+) -> Vec<TraceSpec> {
+    plan.studies
+        .iter()
+        .flat_map(|study| {
+            study.campaigns.iter().map(|cfg| TraceSpec {
+                level,
+                study: study.name.clone(),
+                blackbox_frames,
+                weights_fingerprint: match &cfg.agent {
+                    AgentSpec::Neural { weights } => Some(avfi_trace::fingerprint(weights)),
+                    AgentSpec::Expert => None,
+                },
+            })
+        })
+        .collect()
+}
+
+/// Deterministic reassembly: `runs` was produced in flat-plan order, so
+/// draining it campaign by campaign restores (scenario, run) order
+/// within each campaign exactly as the sequential path produces.
+pub(crate) fn assemble_results(plan: &WorkPlan, runs: Vec<RunResult>) -> Vec<StudyResult> {
+    let mut rest = runs.into_iter();
+    plan.studies
+        .iter()
+        .map(|study| StudyResult {
+            name: study.name.clone(),
+            campaigns: study
+                .campaigns
+                .iter()
+                .map(|cfg| {
+                    CampaignResult::from_runs(
+                        cfg.fault.label(),
+                        cfg.agent.name().to_string(),
+                        rest.by_ref().take(cfg.total_runs()).collect(),
+                    )
+                })
+                .collect(),
+        })
+        .collect()
 }
 
 /// Flight-recorder configuration for an engine execution.
@@ -462,24 +553,7 @@ impl Engine {
     pub fn execute_with(&self, plan: &WorkPlan, sink: &dyn ProgressSink) -> Vec<StudyResult> {
         let campaigns: Vec<&CampaignConfig> =
             plan.studies.iter().flat_map(|s| &s.campaigns).collect();
-        let mut items = Vec::with_capacity(plan.total_runs());
-        let mut flat = 0usize;
-        for (study_idx, study) in plan.studies.iter().enumerate() {
-            for (campaign_idx, cfg) in study.campaigns.iter().enumerate() {
-                for scenario in 0..cfg.scenarios.len() {
-                    for run in 0..cfg.runs_per_scenario {
-                        items.push(WorkItem {
-                            study: study_idx,
-                            campaign: campaign_idx,
-                            flat_campaign: flat,
-                            scenario,
-                            run,
-                        });
-                    }
-                }
-                flat += 1;
-            }
-        }
+        let items = flatten_items(plan);
         let total = items.len();
         let workers = self.effective_workers(total);
         sink.event(&ProgressEvent::Started {
@@ -488,26 +562,9 @@ impl Engine {
             workers,
         });
 
-        // Per-flat-campaign trace specs (study name + weights fingerprint
-        // are campaign-level facts; computing them once here keeps them
-        // off the per-run path).
         let trace_cfg = self.trace.as_ref().filter(|t| t.level != TraceLevel::Off);
-        let trace_specs: Option<Vec<TraceSpec>> = trace_cfg.map(|tc| {
-            plan.studies
-                .iter()
-                .flat_map(|study| {
-                    study.campaigns.iter().map(|cfg| TraceSpec {
-                        level: tc.level,
-                        study: study.name.clone(),
-                        blackbox_frames: tc.blackbox_frames(),
-                        weights_fingerprint: match &cfg.agent {
-                            AgentSpec::Neural { weights } => Some(avfi_trace::fingerprint(weights)),
-                            AgentSpec::Expert => None,
-                        },
-                    })
-                })
-                .collect()
-        });
+        let trace_specs: Option<Vec<TraceSpec>> =
+            trace_cfg.map(|tc| plan_trace_specs(plan, tc.level, tc.blackbox_frames()));
         let trace_specs = trace_specs.as_deref();
 
         let slots: Vec<parking_lot::Mutex<Option<RunResult>>> =
@@ -603,7 +660,7 @@ impl Engine {
         }
 
         let elapsed = started.elapsed().as_secs_f64();
-        let mut runs: Vec<RunResult> = slots
+        let runs: Vec<RunResult> = slots
             .into_iter()
             .map(|slot| slot.into_inner().expect("all runs completed"))
             .collect();
@@ -617,27 +674,7 @@ impl Engine {
             total_violations: runs.iter().map(|r| r.violations.len()).sum(),
         });
 
-        // Deterministic reassembly: the queue was built in plan order, so
-        // draining it campaign by campaign restores (scenario, run) order
-        // within each campaign exactly as the sequential path produced.
-        let mut rest = runs.drain(..);
-        plan.studies
-            .iter()
-            .map(|study| StudyResult {
-                name: study.name.clone(),
-                campaigns: study
-                    .campaigns
-                    .iter()
-                    .map(|cfg| {
-                        CampaignResult::from_runs(
-                            cfg.fault.label(),
-                            cfg.agent.name().to_string(),
-                            rest.by_ref().take(cfg.total_runs()).collect(),
-                        )
-                    })
-                    .collect(),
-            })
-            .collect()
+        assemble_results(plan, runs)
     }
 }
 

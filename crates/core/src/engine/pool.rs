@@ -1,0 +1,800 @@
+//! Persistent multiplexing worker pool: many plans, one pool.
+//!
+//! [`Engine::execute`](super::Engine::execute) is one-shot — it spins
+//! workers up, drains one plan, and tears them down. A fault-injection
+//! *service* instead keeps one long-lived pool and lets many clients
+//! submit [`WorkPlan`]s concurrently. This module provides that shape:
+//!
+//! * [`MultiplexPool`] owns the worker threads for the life of the
+//!   process. [`MultiplexPool::submit`] enqueues a plan and returns a
+//!   [`PlanTicket`] immediately.
+//! * **Fair round-robin scheduling**: active plans sit in a rotation;
+//!   each claim grants one run from the front plan and sends it to the
+//!   back, so an 8-run plan submitted next to an 8 000-run plan makes
+//!   progress every cycle instead of queueing behind it.
+//! * **Per-plan cancellation**: [`PlanTicket::cancel`] drops a plan's
+//!   unclaimed runs; the cooperative check in the worker drain loop skips
+//!   claimed-but-unstarted runs, and in-flight runs finish. Lifecycle
+//!   transitions go through the
+//!   [`PlanLifecycle`](avfi_net::proto::PlanLifecycle) state machine.
+//! * **Plan-tagged events**: every [`ProgressEvent`] lands in the plan's
+//!   own ordered log as a [`PlanEvent`] `{plan, seq, event}`, so watchers
+//!   replay/follow a single plan without seeing its neighbors. The
+//!   `Finished` event's `utilization` is empty in service mode — workers
+//!   are shared, so a per-plan per-worker busy fraction has no meaning.
+//!
+//! **Determinism survives multiplexing.** A run's output depends only on
+//! its (campaign template, scenario index, run index) coordinates — the
+//! same [`run_single`] call the one-shot engine makes — and results land
+//! in slots preassigned by flat plan index, reassembled by the same
+//! [`assemble_results`](super::assemble_results). Scheduling (worker
+//! count, rotation order, neighbor plans) affects only wall-clock, so a
+//! plan's results are **byte-identical** to a solo
+//! [`Engine::execute`](super::Engine::execute) of the same plan.
+
+use super::{
+    assemble_results, flatten_items, plan_trace_specs, ProgressEvent, StudyResult, WorkItem,
+    WorkPlan,
+};
+use crate::campaign::{run_single, run_single_traced, CampaignConfig, RunResult, TraceSpec};
+use avfi_net::proto::{PlanId, PlanLifecycle, PlanPhase};
+use avfi_sim::recorder::Recorder;
+use avfi_sim::FRAME_DT;
+use avfi_trace::{RunTrace, TraceLevel};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One plan-tagged progress event: the `seq`-th event of plan `plan`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanEvent {
+    /// The plan the event belongs to.
+    pub plan: PlanId,
+    /// Sequence number within the plan's event log (0-based, dense).
+    pub seq: usize,
+    /// The engine progress event.
+    pub event: ProgressEvent,
+}
+
+/// The persistent pool: long-lived workers multiplexing every submitted
+/// plan. Dropping the pool without calling [`MultiplexPool::shutdown`]
+/// detaches the workers (the daemon normally lives as long as the
+/// process); `shutdown` cancels queued plans and joins the threads.
+#[derive(Debug)]
+pub struct MultiplexPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    workers: usize,
+    sched: Mutex<Sched>,
+    work_ready: Condvar,
+    next_plan_id: AtomicU64,
+    /// Claim journal: (plan, flat index) in global claim order (claims
+    /// are serialized by the scheduler lock, so this is a total order).
+    /// Scheduling observability for fairness tests and diagnostics.
+    journal: parking_lot::Mutex<Vec<(PlanId, usize)>>,
+}
+
+#[derive(Debug)]
+struct Sched {
+    /// Plans with unclaimed runs, in rotation order.
+    active: VecDeque<Arc<PlanRun>>,
+    paused: bool,
+    shutdown: bool,
+}
+
+/// Shared state of one submitted plan.
+#[derive(Debug)]
+struct PlanRun {
+    id: PlanId,
+    plan: WorkPlan,
+    items: Vec<WorkItem>,
+    /// Campaigns in flat order (owned copies so the submitting client
+    /// can disconnect while the plan runs).
+    campaigns: Vec<CampaignConfig>,
+    /// Per-flat-campaign runs left, for `CampaignCompleted` events.
+    remaining: Vec<AtomicUsize>,
+    trace_specs: Option<Vec<TraceSpec>>,
+    /// Claim cursor; mutated only under the scheduler lock.
+    next: AtomicUsize,
+    /// Claimed but not yet finished (executed or skipped).
+    outstanding: AtomicUsize,
+    /// Runs actually executed.
+    executed: AtomicUsize,
+    cancelled: AtomicBool,
+    started: AtomicBool,
+    finalized: AtomicBool,
+    submitted_at: Instant,
+    /// Result slots preassigned by flat plan index.
+    slots: Vec<parking_lot::Mutex<Option<RunResult>>>,
+    /// Collected traces, keyed by flat plan index (sorted at finalize).
+    traces: parking_lot::Mutex<Vec<(usize, RunTrace)>>,
+    state: Mutex<PlanState>,
+    state_changed: Condvar,
+}
+
+#[derive(Debug)]
+struct PlanState {
+    lifecycle: PlanLifecycle,
+    events: Vec<PlanEvent>,
+    results: Option<Vec<StudyResult>>,
+}
+
+impl PlanRun {
+    fn total(&self) -> usize {
+        self.items.len()
+    }
+
+    fn push_event(&self, event: ProgressEvent) {
+        let mut st = self.state.lock().expect("plan state lock");
+        let seq = st.events.len();
+        st.events.push(PlanEvent {
+            plan: self.id,
+            seq,
+            event,
+        });
+        drop(st);
+        self.state_changed.notify_all();
+    }
+
+    /// Queued → Running on the first claimed run.
+    fn mark_running(&self) {
+        if !self.started.swap(true, Ordering::AcqRel) {
+            self.state
+                .lock()
+                .expect("plan state lock")
+                .lifecycle
+                .advance_if_legal(PlanPhase::Running);
+        }
+    }
+}
+
+/// Moves a plan into a terminal phase exactly once: assembles results
+/// (for `Completed`), sorts traces, appends the `Finished` event, and
+/// wakes every waiter.
+fn finalize(run: &PlanRun, phase: PlanPhase) {
+    if run.finalized.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    let mut st = run.state.lock().expect("plan state lock");
+    if phase == PlanPhase::Completed {
+        let runs: Vec<RunResult> = run
+            .slots
+            .iter()
+            .map(|slot| slot.lock().take().expect("all runs completed"))
+            .collect();
+        let elapsed = run.submitted_at.elapsed().as_secs_f64();
+        let seq = st.events.len();
+        st.events.push(PlanEvent {
+            plan: run.id,
+            seq,
+            event: ProgressEvent::Finished {
+                elapsed,
+                utilization: Vec::new(),
+                total_km: runs.iter().map(|r| r.distance_km).sum(),
+                total_violations: runs.iter().map(|r| r.violations.len()).sum(),
+            },
+        });
+        st.results = Some(assemble_results(&run.plan, runs));
+        run.traces.lock().sort_by_key(|(idx, _)| *idx);
+    }
+    // Cancel-before-start legally jumps Queued → Cancelled; a cancel
+    // racing completion loses quietly and the plan stays Completed.
+    st.lifecycle.advance_if_legal(phase);
+    drop(st);
+    run.state_changed.notify_all();
+}
+
+/// Client handle to one submitted plan. Cloneable; all clones observe the
+/// same plan.
+#[derive(Debug, Clone)]
+pub struct PlanTicket {
+    run: Arc<PlanRun>,
+    shared: Arc<PoolShared>,
+}
+
+impl PlanTicket {
+    /// The server-assigned plan id.
+    pub fn id(&self) -> PlanId {
+        self.run.id
+    }
+
+    /// Total runs the plan flattens to.
+    pub fn total_runs(&self) -> usize {
+        self.run.total()
+    }
+
+    /// Runs executed so far.
+    pub fn completed_runs(&self) -> usize {
+        self.run.executed.load(Ordering::Acquire)
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> PlanPhase {
+        self.run
+            .state
+            .lock()
+            .expect("plan state lock")
+            .lifecycle
+            .phase()
+    }
+
+    /// Cancels the plan: unclaimed runs are dropped, claimed-but-unstarted
+    /// runs are skipped by the workers' cooperative check, in-flight runs
+    /// finish. Returns the phase after the cancel took effect — a plan
+    /// that already completed stays [`PlanPhase::Completed`].
+    pub fn cancel(&self) -> PlanPhase {
+        self.run.cancelled.store(true, Ordering::Release);
+        {
+            let mut sched = self.shared.sched.lock().expect("pool sched lock");
+            sched.active.retain(|p| p.id != self.run.id);
+        }
+        // Idle at cancel time (queued, or every claimed run already
+        // finished): nobody else will finalize, do it here.
+        if self.run.outstanding.load(Ordering::Acquire) == 0
+            && self.run.executed.load(Ordering::Acquire) < self.run.total()
+        {
+            finalize(&self.run, PlanPhase::Cancelled);
+        }
+        self.phase()
+    }
+
+    /// Blocks until the plan reaches a terminal phase and returns it.
+    pub fn wait_terminal(&self) -> PlanPhase {
+        let mut st = self.run.state.lock().expect("plan state lock");
+        while !st.lifecycle.phase().is_terminal() {
+            st = self.run.state_changed.wait(st).expect("plan state lock");
+        }
+        st.lifecycle.phase()
+    }
+
+    /// The plan's results: `Some` once [`PlanPhase::Completed`], `None`
+    /// otherwise (including cancelled plans).
+    pub fn results(&self) -> Option<Vec<StudyResult>> {
+        self.run
+            .state
+            .lock()
+            .expect("plan state lock")
+            .results
+            .clone()
+    }
+
+    /// Blocks until terminal, then returns the results (`None` unless the
+    /// plan completed).
+    pub fn wait_results(&self) -> Option<Vec<StudyResult>> {
+        self.wait_terminal();
+        self.results()
+    }
+
+    /// The traces collected so far, keyed and (after completion) sorted
+    /// by flat plan index.
+    pub fn traces(&self) -> Vec<(usize, RunTrace)> {
+        self.run.traces.lock().clone()
+    }
+
+    /// Snapshot of the event log from sequence number `from` on, plus the
+    /// current phase.
+    pub fn events_after(&self, from: usize) -> (Vec<PlanEvent>, PlanPhase) {
+        let st = self.run.state.lock().expect("plan state lock");
+        let events = st.events.get(from..).unwrap_or_default().to_vec();
+        (events, st.lifecycle.phase())
+    }
+
+    /// Blocks until the log grows past `from` or the plan is terminal,
+    /// then returns the new events and the phase. An empty event list
+    /// with a terminal phase means the stream is exhausted.
+    pub fn wait_events_after(&self, from: usize) -> (Vec<PlanEvent>, PlanPhase) {
+        let mut st = self.run.state.lock().expect("plan state lock");
+        while st.events.len() <= from && !st.lifecycle.phase().is_terminal() {
+            st = self.run.state_changed.wait(st).expect("plan state lock");
+        }
+        let events = st.events.get(from..).unwrap_or_default().to_vec();
+        (events, st.lifecycle.phase())
+    }
+}
+
+impl MultiplexPool {
+    /// A running pool with `workers` threads (0 = one per available
+    /// core).
+    pub fn new(workers: usize) -> Self {
+        Self::build(workers, false)
+    }
+
+    /// A pool whose workers idle until [`MultiplexPool::resume`] — lets
+    /// tests (and warm-up phases) stage several plans and then release
+    /// them under a known rotation.
+    pub fn paused(workers: usize) -> Self {
+        Self::build(workers, true)
+    }
+
+    fn build(workers: usize, paused: bool) -> Self {
+        let workers = if workers > 0 {
+            workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        };
+        let shared = Arc::new(PoolShared {
+            workers,
+            sched: Mutex::new(Sched {
+                active: VecDeque::new(),
+                paused,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            next_plan_id: AtomicU64::new(0),
+            journal: parking_lot::Mutex::new(Vec::new()),
+        });
+        let handles = (0..workers)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("avfi-pool-{worker}"))
+                    .spawn(move || worker_loop(&shared, worker))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        MultiplexPool { shared, handles }
+    }
+
+    /// The pool's worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Releases a [`MultiplexPool::paused`] pool's workers.
+    pub fn resume(&self) {
+        self.shared.sched.lock().expect("pool sched lock").paused = false;
+        self.shared.work_ready.notify_all();
+    }
+
+    /// Submits a plan without tracing; returns its ticket immediately.
+    pub fn submit(&self, plan: WorkPlan) -> PlanTicket {
+        self.submit_traced(plan, TraceLevel::Off, 30.0)
+    }
+
+    /// Submits a plan with the flight recorder at `level` (`Off` disables
+    /// it); at [`TraceLevel::Blackbox`] the ring keeps the last
+    /// `blackbox_seconds` of frames. Traces stay in memory on the plan
+    /// ([`PlanTicket::traces`]) — the service owns persistence.
+    pub fn submit_traced(
+        &self,
+        plan: WorkPlan,
+        level: TraceLevel,
+        blackbox_seconds: f64,
+    ) -> PlanTicket {
+        let id = self.shared.next_plan_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let items = flatten_items(&plan);
+        let campaigns: Vec<CampaignConfig> = plan
+            .studies()
+            .iter()
+            .flat_map(|s| s.campaigns.iter().cloned())
+            .collect();
+        let remaining = campaigns
+            .iter()
+            .map(|c| AtomicUsize::new(c.total_runs()))
+            .collect();
+        let blackbox_frames = ((blackbox_seconds / FRAME_DT).ceil() as usize).max(1);
+        let trace_specs =
+            (level != TraceLevel::Off).then(|| plan_trace_specs(&plan, level, blackbox_frames));
+        let total = items.len();
+        let slots = (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
+        let run = Arc::new(PlanRun {
+            id,
+            plan,
+            items,
+            campaigns,
+            remaining,
+            trace_specs,
+            next: AtomicUsize::new(0),
+            outstanding: AtomicUsize::new(0),
+            executed: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
+            started: AtomicBool::new(false),
+            finalized: AtomicBool::new(false),
+            submitted_at: Instant::now(),
+            slots,
+            traces: parking_lot::Mutex::new(Vec::new()),
+            state: Mutex::new(PlanState {
+                lifecycle: PlanLifecycle::new(),
+                events: Vec::new(),
+                results: None,
+            }),
+            state_changed: Condvar::new(),
+        });
+        run.push_event(ProgressEvent::Started {
+            total_runs: total,
+            campaigns: run.campaigns.len(),
+            workers: self.shared.workers,
+        });
+        if total == 0 {
+            // Trivially complete; never enters the rotation.
+            run.mark_running();
+            finalize(&run, PlanPhase::Completed);
+        } else {
+            let mut sched = self.shared.sched.lock().expect("pool sched lock");
+            sched.active.push_back(Arc::clone(&run));
+            drop(sched);
+            self.shared.work_ready.notify_all();
+        }
+        PlanTicket {
+            run,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Global claim journal: (plan, flat index) in claim order.
+    pub fn execution_journal(&self) -> Vec<(PlanId, usize)> {
+        self.shared.journal.lock().clone()
+    }
+
+    /// Cancels every queued plan, stops the workers (in-flight runs
+    /// finish), and joins them.
+    pub fn shutdown(self) {
+        {
+            let mut sched = self.shared.sched.lock().expect("pool sched lock");
+            sched.shutdown = true;
+            for plan in sched.active.drain(..) {
+                plan.cancelled.store(true, Ordering::Release);
+                if plan.outstanding.load(Ordering::Acquire) == 0 {
+                    finalize(&plan, PlanPhase::Cancelled);
+                }
+            }
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.handles {
+            handle.join().expect("pool worker panicked");
+        }
+    }
+}
+
+/// Claims the next run under fair round-robin: one run from the front
+/// plan, which then rotates to the back. Cancelled and fully claimed
+/// plans drop out of the rotation here.
+fn claim(
+    sched: &mut Sched,
+    journal: &parking_lot::Mutex<Vec<(PlanId, usize)>>,
+) -> Option<(Arc<PlanRun>, usize)> {
+    while let Some(plan) = sched.active.pop_front() {
+        if plan.cancelled.load(Ordering::Acquire) {
+            if plan.outstanding.load(Ordering::Acquire) == 0 {
+                finalize(&plan, PlanPhase::Cancelled);
+            }
+            continue;
+        }
+        let i = plan.next.load(Ordering::Relaxed);
+        if i >= plan.total() {
+            continue;
+        }
+        plan.next.store(i + 1, Ordering::Relaxed);
+        plan.outstanding.fetch_add(1, Ordering::AcqRel);
+        journal.lock().push((plan.id, i));
+        if i + 1 < plan.total() {
+            sched.active.push_back(Arc::clone(&plan));
+        }
+        return Some((plan, i));
+    }
+    None
+}
+
+fn worker_loop(shared: &PoolShared, worker: usize) {
+    loop {
+        let (plan, idx) = {
+            let mut sched = shared.sched.lock().expect("pool sched lock");
+            loop {
+                if sched.shutdown {
+                    return;
+                }
+                if !sched.paused {
+                    if let Some(claimed) = claim(&mut sched, &shared.journal) {
+                        break claimed;
+                    }
+                }
+                sched = shared.work_ready.wait(sched).expect("pool sched lock");
+            }
+        };
+        execute_item(&plan, idx, worker);
+    }
+}
+
+/// Runs one claimed item (the worker drain loop body). The cooperative
+/// cancellation check sits here: a run claimed before its plan was
+/// cancelled is skipped, not executed.
+fn execute_item(plan: &Arc<PlanRun>, idx: usize, worker: usize) {
+    if !plan.cancelled.load(Ordering::Acquire) {
+        plan.mark_running();
+        let item = plan.items[idx];
+        let cfg = &plan.campaigns[item.flat_campaign];
+        let result = match &plan.trace_specs {
+            Some(specs) => {
+                let spec = &specs[item.flat_campaign];
+                let mut recorder = if spec.level == TraceLevel::Blackbox {
+                    Recorder::ring(spec.blackbox_frames.max(1))
+                } else {
+                    Recorder::new(false)
+                };
+                let (result, trace) = run_single_traced(
+                    &cfg.scenarios[item.scenario],
+                    item.scenario,
+                    item.run,
+                    &cfg.fault,
+                    &cfg.agent,
+                    spec,
+                    &mut recorder,
+                );
+                if let Some(trace) = trace {
+                    plan.traces.lock().push((idx, trace));
+                }
+                result
+            }
+            None => run_single(
+                &cfg.scenarios[item.scenario],
+                item.scenario,
+                item.run,
+                &cfg.fault,
+                &cfg.agent,
+            ),
+        };
+        let (km, violations, success) = (
+            result.distance_km,
+            result.violations.len(),
+            result.outcome.is_success(),
+        );
+        // Slot before counter: a reader seeing `executed == total` must
+        // also see every slot filled.
+        *plan.slots[idx].lock() = Some(result);
+        let executed = plan.executed.fetch_add(1, Ordering::AcqRel) + 1;
+        plan.push_event(ProgressEvent::RunCompleted {
+            study: item.study,
+            campaign: item.campaign,
+            scenario: item.scenario,
+            run: item.run,
+            worker,
+            completed: executed,
+            total: plan.total(),
+            km,
+            violations,
+            success,
+        });
+        if plan.remaining[item.flat_campaign].fetch_sub(1, Ordering::AcqRel) == 1 {
+            plan.push_event(ProgressEvent::CampaignCompleted {
+                study: item.study,
+                campaign: item.campaign,
+                label: cfg.fault.label(),
+            });
+        }
+    }
+    let outstanding = plan.outstanding.fetch_sub(1, Ordering::AcqRel) - 1;
+    if plan.executed.load(Ordering::Acquire) == plan.total() {
+        finalize(plan, PlanPhase::Completed);
+    } else if plan.cancelled.load(Ordering::Acquire) && outstanding == 0 {
+        finalize(plan, PlanPhase::Cancelled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Engine, WorkPlan};
+    use super::*;
+    use crate::campaign::{AgentSpec, CampaignConfig};
+    use crate::fault::hardware::{BitFaultModel, HardwareFault, HardwareTarget};
+    use crate::fault::timing::TimingFault;
+    use crate::fault::FaultSpec;
+    use avfi_sim::scenario::{Scenario, TownSpec};
+
+    fn quick_scenario(seed: u64) -> Scenario {
+        let mut town = TownSpec::grid(2, 2);
+        town.signalized = false;
+        Scenario::builder(town)
+            .seed(seed)
+            .npc_vehicles(0)
+            .pedestrians(0)
+            .time_budget(15.0)
+            .min_route_length(50.0)
+            .build()
+    }
+
+    fn campaign(seed: u64, runs: usize, fault: FaultSpec) -> CampaignConfig {
+        CampaignConfig::builder(vec![quick_scenario(seed), quick_scenario(seed + 1)])
+            .runs_per_scenario(runs)
+            .fault(fault)
+            .agent(AgentSpec::Expert)
+            .build()
+    }
+
+    fn plan_a() -> WorkPlan {
+        WorkPlan::new()
+            .with_study("baseline", vec![campaign(40, 2, FaultSpec::None)])
+            .with_study(
+                "timing",
+                vec![campaign(
+                    44,
+                    2,
+                    FaultSpec::Timing(TimingFault::OutputDelay { frames: 8 }),
+                )],
+            )
+    }
+
+    fn plan_b() -> WorkPlan {
+        WorkPlan::new().with_study("other", vec![campaign(52, 2, FaultSpec::None)])
+    }
+
+    fn json<T: serde::Serialize>(v: &T) -> String {
+        serde_json::to_string(v).unwrap()
+    }
+
+    /// The multiplexing gate: plans sharing one pool produce results
+    /// byte-identical to a solo `Engine::execute` of each plan.
+    #[test]
+    fn multiplexed_plans_match_solo_engine() {
+        let pool = MultiplexPool::new(3);
+        let ta = pool.submit(plan_a());
+        let tb = pool.submit(plan_b());
+        let ra = ta.wait_results().expect("plan a completed");
+        let rb = tb.wait_results().expect("plan b completed");
+        assert_eq!(
+            json(&ra),
+            json(&Engine::new().workers(1).execute(&plan_a()))
+        );
+        assert_eq!(
+            json(&rb),
+            json(&Engine::new().workers(1).execute(&plan_b()))
+        );
+        assert_eq!(ta.phase(), PlanPhase::Completed);
+        assert_eq!(ta.completed_runs(), ta.total_runs());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn events_are_plan_tagged_and_complete() {
+        let pool = MultiplexPool::new(2);
+        let t = pool.submit(plan_a());
+        t.wait_terminal();
+        let (events, phase) = t.events_after(0);
+        assert_eq!(phase, PlanPhase::Completed);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.plan, t.id());
+            assert_eq!(e.seq, i);
+        }
+        assert!(matches!(
+            events.first().unwrap().event,
+            ProgressEvent::Started { .. }
+        ));
+        assert!(matches!(
+            events.last().unwrap().event,
+            ProgressEvent::Finished { .. }
+        ));
+        let runs = events
+            .iter()
+            .filter(|e| matches!(e.event, ProgressEvent::RunCompleted { .. }))
+            .count();
+        assert_eq!(runs, plan_a().total_runs());
+        pool.shutdown();
+    }
+
+    /// One worker, two staged plans: the rotation must alternate strictly
+    /// — A0 B0 A1 B1 … — instead of draining A before B.
+    #[test]
+    fn round_robin_is_fair_across_plans() {
+        let pool = MultiplexPool::paused(1);
+        let ta = pool.submit(plan_b());
+        let tb = pool.submit(plan_b());
+        pool.resume();
+        ta.wait_terminal();
+        tb.wait_terminal();
+        let journal = pool.execution_journal();
+        assert_eq!(journal.len(), 8);
+        for (i, (plan, idx)) in journal.iter().enumerate() {
+            let expect_plan = if i.is_multiple_of(2) {
+                ta.id()
+            } else {
+                tb.id()
+            };
+            assert_eq!(*plan, expect_plan, "claim {i} went to the wrong plan");
+            assert_eq!(*idx, i / 2, "claim {i} took the wrong item");
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn cancel_before_start_yields_cancelled_without_results() {
+        let pool = MultiplexPool::paused(2);
+        let t = pool.submit(plan_a());
+        assert_eq!(t.cancel(), PlanPhase::Cancelled);
+        pool.resume();
+        assert_eq!(t.wait_terminal(), PlanPhase::Cancelled);
+        assert!(t.results().is_none());
+        assert_eq!(t.completed_runs(), 0);
+        // The pool stays healthy for later plans.
+        let t2 = pool.submit(plan_b());
+        assert!(t2.wait_results().is_some());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn cancel_mid_plan_keeps_pool_and_neighbors_healthy() {
+        let pool = MultiplexPool::new(2);
+        // A long plan (32 runs) and a short neighbor.
+        let long = WorkPlan::new().with_study(
+            "long",
+            vec![
+                campaign(60, 8, FaultSpec::None),
+                campaign(70, 8, FaultSpec::None),
+            ],
+        );
+        let t_long = pool.submit(long);
+        let t_short = pool.submit(plan_b());
+        // Wait until the long plan actually progressed, then cancel it.
+        t_long.wait_events_after(1);
+        let phase = t_long.cancel();
+        assert!(phase.is_terminal() || phase == PlanPhase::Running);
+        let terminal = t_long.wait_terminal();
+        assert!(terminal.is_terminal());
+        if terminal == PlanPhase::Cancelled {
+            assert!(t_long.results().is_none());
+            assert!(t_long.completed_runs() < t_long.total_runs());
+        }
+        // The neighbor still completes bit-identically.
+        let rb = t_short.wait_results().expect("short plan completed");
+        assert_eq!(
+            json(&rb),
+            json(&Engine::new().workers(1).execute(&plan_b()))
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn empty_plan_completes_immediately() {
+        let pool = MultiplexPool::new(1);
+        let t = pool.submit(WorkPlan::new());
+        assert_eq!(t.wait_terminal(), PlanPhase::Completed);
+        assert_eq!(t.results().expect("empty results").len(), 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_cancels_queued_plans() {
+        let pool = MultiplexPool::paused(1);
+        let t = pool.submit(plan_b());
+        pool.shutdown();
+        assert_eq!(t.wait_terminal(), PlanPhase::Cancelled);
+    }
+
+    /// Traced submissions collect blackbox traces in memory, keyed by
+    /// flat index and invariant to pool scheduling.
+    #[test]
+    fn traced_submission_collects_worker_invariant_traces() {
+        let stuck = FaultSpec::Hardware(HardwareFault::always(
+            HardwareTarget::ControlBrake,
+            BitFaultModel::StuckAt { value: 1.0 },
+        ));
+        let plan = WorkPlan::new().with_study("stuck", vec![campaign(80, 2, stuck)]);
+        let collect = |workers: usize| {
+            let pool = MultiplexPool::new(workers);
+            let t = pool.submit_traced(plan.clone(), TraceLevel::Blackbox, 5.0);
+            t.wait_terminal();
+            let traces = t.traces();
+            pool.shutdown();
+            traces
+        };
+        let one = collect(1);
+        let four = collect(4);
+        assert!(!one.is_empty(), "stuck-brake plan must emit failure traces");
+        assert_eq!(
+            json(&one),
+            json(&four),
+            "traces must be scheduling-invariant"
+        );
+        let indices: Vec<usize> = one.iter().map(|(i, _)| *i).collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(indices, sorted, "traces sorted by flat index");
+    }
+}

@@ -24,7 +24,10 @@
 //! agent in [`harness`]. [`campaign`] runs seeded, parallel campaigns;
 //! [`engine`] flattens whole multi-campaign studies into one
 //! deterministic work-stealing queue with streamed
-//! [`engine::ProgressSink`] observability;
+//! [`engine::ProgressSink`] observability, and [`engine::pool`] keeps a
+//! persistent [`engine::MultiplexPool`] that multiplexes many
+//! concurrently submitted plans onto one shared worker pool (the
+//! `avfi-server` campaign service is built on it);
 //! [`metrics`] computes the paper's resilience metrics (MSR, VPK, APK,
 //! TTV); [`stats`] and [`report`] summarize and render results. The
 //! flight recorder (the `avfi-trace` crate) plugs in through
@@ -71,7 +74,10 @@ pub mod triage;
 pub mod trigger;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignResult, RunResult, TraceSpec};
-pub use engine::{Engine, ProgressEvent, ProgressSink, StudyResult, TraceConfig, WorkPlan};
+pub use engine::{
+    Engine, MultiplexPool, PlanEvent, PlanTicket, ProgressEvent, ProgressSink, StudyResult,
+    TraceConfig, WorkPlan,
+};
 pub use fault::FaultSpec;
 pub use harness::AvDriver;
 pub use shrink::{shrink_trace, MinimalRepro, ShrinkConfig, ShrinkOutcome};

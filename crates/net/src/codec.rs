@@ -1,28 +1,56 @@
 //! Length-prefixed message framing.
 //!
 //! Wire format per frame: `u32` little-endian payload length, then the
-//! JSON-serialized [`Message`]. Built on [`bytes`] so partially received
+//! JSON-serialized value. Built on [`bytes`] so partially received
 //! frames accumulate without copying.
+//!
+//! The framing is generic over any serde value: the lockstep loop frames
+//! [`Message`]s, the campaign service (`proto`) frames its request/reply
+//! enums through the same functions via [`encode_value`] /
+//! [`decode_value`].
 
 use crate::error::NetError;
 use crate::message::Message;
 use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
 
 /// Maximum accepted payload size (guards against corrupt length prefixes).
 pub const MAX_FRAME: usize = 64 * 1024 * 1024;
 
-/// Encodes one message into a length-prefixed frame.
+/// Encodes one value into a length-prefixed frame.
+///
+/// The [`MAX_FRAME`] cap is enforced **before any bytes are written**:
+/// a payload above the cap would either be rejected by every conforming
+/// peer (64 MiB – 4 GiB) or — worse — silently truncate its `u32` length
+/// prefix (> 4 GiB) and desynchronize the stream for good. Oversized
+/// payloads therefore fail here, on the send side, leaving `out`
+/// untouched.
 ///
 /// # Errors
 ///
-/// Returns [`NetError::Codec`] if serialization fails (it cannot for the
-/// message types in this crate, but the API is honest).
-pub fn encode(msg: &Message, out: &mut BytesMut) -> Result<(), NetError> {
-    let payload = serde_json::to_vec(msg).map_err(|e| NetError::Codec(e.to_string()))?;
+/// Returns [`NetError::Codec`] if serialization fails or the serialized
+/// payload exceeds [`MAX_FRAME`].
+pub fn encode_value<T: Serialize + ?Sized>(value: &T, out: &mut BytesMut) -> Result<(), NetError> {
+    let payload = serde_json::to_vec(value).map_err(|e| NetError::Codec(e.to_string()))?;
+    if payload.len() > MAX_FRAME {
+        return Err(NetError::Codec(format!(
+            "{}-byte payload exceeds the {MAX_FRAME}-byte frame cap (refused before writing)",
+            payload.len()
+        )));
+    }
     out.reserve(4 + payload.len());
     out.put_u32_le(payload.len() as u32);
     out.put_slice(&payload);
     Ok(())
+}
+
+/// Encodes one [`Message`] into a length-prefixed frame.
+///
+/// # Errors
+///
+/// Same failure modes as [`encode_value`].
+pub fn encode(msg: &Message, out: &mut BytesMut) -> Result<(), NetError> {
+    encode_value(msg, out)
 }
 
 /// Total length (prefix + payload) of the frame accumulating at the
@@ -37,7 +65,7 @@ pub fn pending_frame_len(buf: &BytesMut) -> Option<usize> {
     (len <= MAX_FRAME).then_some(4 + len)
 }
 
-/// Attempts to decode one message from the accumulation buffer.
+/// Attempts to decode one value from the accumulation buffer.
 ///
 /// Returns `Ok(None)` when more bytes are needed; consumed bytes are
 /// removed from `buf`.
@@ -46,7 +74,7 @@ pub fn pending_frame_len(buf: &BytesMut) -> Option<usize> {
 ///
 /// Returns [`NetError::Codec`] on an oversized length prefix or malformed
 /// payload.
-pub fn decode(buf: &mut BytesMut) -> Result<Option<Message>, NetError> {
+pub fn decode_value<T: Deserialize>(buf: &mut BytesMut) -> Result<Option<T>, NetError> {
     if buf.len() < 4 {
         return Ok(None);
     }
@@ -61,6 +89,15 @@ pub fn decode(buf: &mut BytesMut) -> Result<Option<Message>, NetError> {
     let payload = buf.split_to(len);
     let msg = serde_json::from_slice(&payload).map_err(|e| NetError::Codec(e.to_string()))?;
     Ok(Some(msg))
+}
+
+/// Attempts to decode one [`Message`] from the accumulation buffer.
+///
+/// # Errors
+///
+/// Same failure modes as [`decode_value`].
+pub fn decode(buf: &mut BytesMut) -> Result<Option<Message>, NetError> {
+    decode_value(buf)
 }
 
 #[cfg(test)]
@@ -114,6 +151,16 @@ mod tests {
     }
 
     #[test]
+    fn generic_value_roundtrip() {
+        let mut buf = BytesMut::new();
+        let v = vec!["service".to_string(), "frames".to_string()];
+        encode_value(&v, &mut buf).unwrap();
+        let got: Vec<String> = decode_value(&mut buf).unwrap().unwrap();
+        assert_eq!(got, v);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
     fn pending_frame_len_reports_total() {
         let mut buf = BytesMut::new();
         assert_eq!(pending_frame_len(&buf), None);
@@ -142,5 +189,41 @@ mod tests {
         buf.put_u32_le(4);
         buf.put_slice(b"{{{{");
         assert!(matches!(decode(&mut buf), Err(NetError::Codec(_))));
+    }
+
+    /// Regression (send-side frame cap): a payload one byte over
+    /// [`MAX_FRAME`] must be refused before anything lands in the output
+    /// buffer. Unchecked, a 64 MiB–4 GiB payload emits a frame every
+    /// conforming peer rejects, and a > 4 GiB one truncates its `u32`
+    /// length prefix and permanently desyncs the stream; the cap check
+    /// runs before either write can happen (the > 4 GiB case is the same
+    /// code path — `payload.len() > MAX_FRAME` fires long before the
+    /// `as u32` cast could wrap).
+    #[test]
+    fn send_side_cap_rejects_oversized_payload_before_writing() {
+        // A JSON string of n ASCII bytes serializes to n + 2 bytes, so
+        // this payload is exactly MAX_FRAME + 1 bytes.
+        let over = "x".repeat(MAX_FRAME - 1);
+        let mut out = BytesMut::new();
+        let err = encode_value(&over, &mut out).unwrap_err();
+        assert!(matches!(err, NetError::Codec(_)), "{err}");
+        assert!(err.to_string().contains("frame cap"), "{err}");
+        assert!(
+            out.is_empty(),
+            "nothing may be written for an oversized payload"
+        );
+    }
+
+    /// Boundary partner of the cap test: a payload of exactly
+    /// [`MAX_FRAME`] bytes is legal, fully framed, and decodes back.
+    #[test]
+    fn send_side_cap_admits_payload_at_exact_limit() {
+        let at_limit = "x".repeat(MAX_FRAME - 2);
+        let mut out = BytesMut::new();
+        encode_value(&at_limit, &mut out).unwrap();
+        assert_eq!(out.len(), 4 + MAX_FRAME);
+        assert_eq!(pending_frame_len(&out), Some(4 + MAX_FRAME));
+        let back: String = decode_value(&mut out).unwrap().unwrap();
+        assert_eq!(back.len(), at_limit.len());
     }
 }

@@ -37,8 +37,23 @@ impl std::error::Error for NetError {
 }
 
 impl From<std::io::Error> for NetError {
+    /// Folds abortive peer hangups into [`NetError::Disconnected`].
+    ///
+    /// A peer that vanishes mid-connection surfaces as `ConnectionReset`
+    /// / `ConnectionAborted` (RST), `BrokenPipe` (write after FIN), or
+    /// `UnexpectedEof` — never as the clean zero-byte read the transport
+    /// maps itself. Callers match `Disconnected` as the documented "peer
+    /// is gone" signal (a server's per-client loop treats it as routine
+    /// churn), so these kinds must not hide inside `Io`.
     fn from(e: std::io::Error) -> Self {
-        NetError::Io(e)
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::UnexpectedEof => NetError::Disconnected,
+            _ => NetError::Io(e),
+        }
     }
 }
 
@@ -56,5 +71,53 @@ mod tests {
     fn error_trait_is_implemented() {
         fn assert_err<E: std::error::Error + Send + Sync>() {}
         assert_err::<NetError>();
+    }
+
+    fn from_kind(kind: std::io::ErrorKind) -> NetError {
+        NetError::from(std::io::Error::new(kind, "injected"))
+    }
+
+    /// Regression (disconnect-kind mapping): each abortive-hangup I/O
+    /// kind must surface as `Disconnected`, the documented "peer is
+    /// gone" signal, not as an opaque `Io` error.
+    #[test]
+    fn connection_reset_maps_to_disconnected() {
+        assert!(matches!(
+            from_kind(std::io::ErrorKind::ConnectionReset),
+            NetError::Disconnected
+        ));
+    }
+
+    #[test]
+    fn connection_aborted_maps_to_disconnected() {
+        assert!(matches!(
+            from_kind(std::io::ErrorKind::ConnectionAborted),
+            NetError::Disconnected
+        ));
+    }
+
+    #[test]
+    fn broken_pipe_maps_to_disconnected() {
+        assert!(matches!(
+            from_kind(std::io::ErrorKind::BrokenPipe),
+            NetError::Disconnected
+        ));
+    }
+
+    #[test]
+    fn unexpected_eof_maps_to_disconnected() {
+        assert!(matches!(
+            from_kind(std::io::ErrorKind::UnexpectedEof),
+            NetError::Disconnected
+        ));
+    }
+
+    /// Genuine I/O faults (not hangups) must keep their kind visible.
+    #[test]
+    fn other_io_kinds_stay_io() {
+        match from_kind(std::io::ErrorKind::PermissionDenied) {
+            NetError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::PermissionDenied),
+            other => panic!("expected Io, got {other:?}"),
+        }
     }
 }

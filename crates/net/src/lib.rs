@@ -17,7 +17,10 @@
 //!   real localhost TCP transport,
 //! * [`server::SimServer`] / [`client::SimClient`] — the two endpoints,
 //! * [`clock::FrameClock`] — frame accounting and optional real-time
-//!   pacing.
+//!   pacing,
+//! * [`proto`] — the campaign-service protocol (`avfi-server` /
+//!   `avfi-client`): plan submission, progress streaming, cancellation,
+//!   and result retrieval as framed request/reply messages.
 //!
 //! AVFI's *timing faults* target exactly this seam ("delays in flow of
 //! data from one component of the AV system to another"); the fault
@@ -32,11 +35,13 @@ pub mod clock;
 pub mod codec;
 pub mod error;
 pub mod message;
+pub mod proto;
 pub mod server;
 pub mod transport;
 
 pub use client::SimClient;
 pub use error::NetError;
 pub use message::Message;
+pub use proto::{PlanId, PlanLifecycle, PlanPhase, ServiceReply, ServiceRequest};
 pub use server::SimServer;
 pub use transport::{InProcTransport, TcpTransport, Transport};

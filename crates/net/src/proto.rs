@@ -1,0 +1,430 @@
+//! Campaign-service wire protocol: fault injection as a service.
+//!
+//! The lockstep [`Message`](crate::message::Message) protocol drives one
+//! mission; this module defines the *campaign* protocol a persistent
+//! `avfi-server` daemon speaks with many concurrent clients. Clients
+//! submit serialized work plans, watch per-plan progress streams, cancel
+//! plans, and retrieve results and traces by plan id — all as
+//! length-prefixed frames over the same [`codec`](crate::codec) framing
+//! (via [`TcpTransport::send_value`](crate::transport::TcpTransport::send_value) /
+//! [`recv_value`](crate::transport::TcpTransport::recv_value)).
+//!
+//! ## Layering
+//!
+//! `avfi-net` sits *below* `avfi-core`, so plan, progress-event, result
+//! and trace payloads cross this protocol as **opaque JSON strings**
+//! (`plan_json`, `event_json`, …). The server and client crates own the
+//! concrete types (`WorkPlan`, `ProgressEvent`, `StudyResult`,
+//! `RunTrace`) and serialize them with the same `serde_json` the codec
+//! uses, so a retrieved results payload is byte-identical to a local
+//! serialization of the same value — the property the service's
+//! determinism gate diffs on.
+//!
+//! ## Conversation shape
+//!
+//! One connection carries a sequence of request/reply exchanges. Every
+//! request gets exactly one reply, except [`ServiceRequest::Watch`],
+//! which streams [`ServiceReply::Event`] frames until the plan reaches a
+//! terminal phase and then closes the exchange with
+//! [`ServiceReply::WatchEnd`].
+
+use crate::error::NetError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Server-assigned identifier of one submitted plan.
+pub type PlanId = u64;
+
+/// One client → server request frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServiceRequest {
+    /// Submit a serialized `WorkPlan` for execution.
+    SubmitPlan {
+        /// JSON-serialized `avfi_core::engine::WorkPlan`.
+        plan_json: String,
+        /// Flight-recorder level for the plan's runs
+        /// (`"off"`, `"summary"`, or `"blackbox"`).
+        trace_level: String,
+    },
+    /// Stream progress events for a plan, starting at event `from_event`
+    /// (0 replays the full history), until the plan is terminal.
+    Watch {
+        /// The plan to watch.
+        plan: PlanId,
+        /// First event sequence number to deliver.
+        from_event: usize,
+    },
+    /// Retrieve a plan's results, blocking until the plan is terminal.
+    Results {
+        /// The plan to read.
+        plan: PlanId,
+    },
+    /// Retrieve the traces a plan's runs emitted, blocking until the
+    /// plan is terminal.
+    Traces {
+        /// The plan to read.
+        plan: PlanId,
+    },
+    /// Cancel a plan: unstarted runs are dropped, in-flight runs finish.
+    Cancel {
+        /// The plan to cancel.
+        plan: PlanId,
+    },
+    /// Query a plan's lifecycle phase and completion counters.
+    Status {
+        /// The plan to query.
+        plan: PlanId,
+    },
+    /// Ask the daemon to shut down cleanly.
+    Shutdown,
+}
+
+impl ServiceRequest {
+    /// Short tag for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceRequest::SubmitPlan { .. } => "submit-plan",
+            ServiceRequest::Watch { .. } => "watch",
+            ServiceRequest::Results { .. } => "results",
+            ServiceRequest::Traces { .. } => "traces",
+            ServiceRequest::Cancel { .. } => "cancel",
+            ServiceRequest::Status { .. } => "status",
+            ServiceRequest::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One server → client reply frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServiceReply {
+    /// A plan was accepted and queued.
+    Submitted {
+        /// Server-assigned plan id.
+        plan: PlanId,
+        /// Total runs the plan flattens to.
+        total_runs: usize,
+    },
+    /// One progress event of a watched plan.
+    Event {
+        /// The watched plan.
+        plan: PlanId,
+        /// Sequence number of this event within the plan's stream.
+        seq: usize,
+        /// JSON-serialized `avfi_core::engine::ProgressEvent`.
+        event_json: String,
+    },
+    /// A watch stream ended because the plan reached a terminal phase.
+    WatchEnd {
+        /// The watched plan.
+        plan: PlanId,
+        /// The terminal phase.
+        phase: PlanPhase,
+    },
+    /// A plan's results.
+    Results {
+        /// The plan.
+        plan: PlanId,
+        /// JSON-serialized `Vec<avfi_core::engine::StudyResult>`.
+        results_json: String,
+    },
+    /// A plan's collected traces.
+    Traces {
+        /// The plan.
+        plan: PlanId,
+        /// JSON-serialized `Vec<(usize, avfi_trace::RunTrace)>`, keyed
+        /// by flat plan index and sorted by it.
+        traces_json: String,
+    },
+    /// Acknowledges a cancel request.
+    Cancelled {
+        /// The plan.
+        plan: PlanId,
+        /// The phase after the cancel took effect (a plan that already
+        /// completed stays `Completed`).
+        phase: PlanPhase,
+    },
+    /// A plan's current status.
+    Status {
+        /// The plan.
+        plan: PlanId,
+        /// Current lifecycle phase.
+        phase: PlanPhase,
+        /// Runs finished so far.
+        completed: usize,
+        /// Total runs in the plan.
+        total: usize,
+    },
+    /// Acknowledges a shutdown request; the daemon stops accepting work.
+    ShuttingDown,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl ServiceReply {
+    /// Short tag for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceReply::Submitted { .. } => "submitted",
+            ServiceReply::Event { .. } => "event",
+            ServiceReply::WatchEnd { .. } => "watch-end",
+            ServiceReply::Results { .. } => "results",
+            ServiceReply::Traces { .. } => "traces",
+            ServiceReply::Cancelled { .. } => "cancelled",
+            ServiceReply::Status { .. } => "status",
+            ServiceReply::ShuttingDown => "shutting-down",
+            ServiceReply::Error { .. } => "error",
+        }
+    }
+}
+
+/// Lifecycle phase of a submitted plan.
+///
+/// ```text
+///            ┌─────────► Cancelled ◄──────┐
+///            │                            │
+///  Queued ───┴──► Running ──┬──► Completed
+///                           └──► Failed
+/// ```
+///
+/// Terminal phases (`Completed`, `Cancelled`, `Failed`) are absorbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanPhase {
+    /// Accepted, no run claimed yet.
+    Queued,
+    /// At least one run claimed by a worker.
+    Running,
+    /// Every run finished; results are available.
+    Completed,
+    /// Cancelled before completion; no results.
+    Cancelled,
+    /// Execution failed; no results.
+    Failed,
+}
+
+impl PlanPhase {
+    /// `true` for absorbing phases (no further transitions).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            PlanPhase::Completed | PlanPhase::Cancelled | PlanPhase::Failed
+        )
+    }
+
+    /// Whether the lifecycle state machine permits `self → to`.
+    pub fn can_transition(self, to: PlanPhase) -> bool {
+        matches!(
+            (self, to),
+            (PlanPhase::Queued, PlanPhase::Running)
+                | (PlanPhase::Queued, PlanPhase::Cancelled)
+                | (PlanPhase::Running, PlanPhase::Completed)
+                | (PlanPhase::Running, PlanPhase::Cancelled)
+                | (PlanPhase::Running, PlanPhase::Failed)
+        )
+    }
+
+    /// Phase name as it appears in CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanPhase::Queued => "queued",
+            PlanPhase::Running => "running",
+            PlanPhase::Completed => "completed",
+            PlanPhase::Cancelled => "cancelled",
+            PlanPhase::Failed => "failed",
+        }
+    }
+}
+
+impl fmt::Display for PlanPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Enforced plan lifecycle: a [`PlanPhase`] that only moves along legal
+/// transitions. The server holds one per plan; every phase change goes
+/// through [`PlanLifecycle::advance`], so an illegal transition is a bug
+/// surfaced as [`NetError::Protocol`] instead of silently corrupted
+/// bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct PlanLifecycle {
+    phase: Option<PlanPhase>,
+}
+
+impl PlanLifecycle {
+    /// A fresh lifecycle in [`PlanPhase::Queued`].
+    pub fn new() -> Self {
+        PlanLifecycle {
+            phase: Some(PlanPhase::Queued),
+        }
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> PlanPhase {
+        self.phase.unwrap_or(PlanPhase::Queued)
+    }
+
+    /// Advances to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] if the state machine forbids the
+    /// transition; the phase is left unchanged.
+    pub fn advance(&mut self, to: PlanPhase) -> Result<PlanPhase, NetError> {
+        let from = self.phase();
+        if !from.can_transition(to) {
+            return Err(NetError::Protocol(format!(
+                "illegal plan transition {from} → {to}"
+            )));
+        }
+        self.phase = Some(to);
+        Ok(to)
+    }
+
+    /// Advances to `to` if legal; keeps the current phase otherwise
+    /// (used where a race makes both outcomes valid, e.g. cancelling a
+    /// plan that just completed).
+    pub fn advance_if_legal(&mut self, to: PlanPhase) -> PlanPhase {
+        let _ = self.advance(to);
+        self.phase()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let mut l = PlanLifecycle::new();
+        assert_eq!(l.phase(), PlanPhase::Queued);
+        l.advance(PlanPhase::Running).unwrap();
+        l.advance(PlanPhase::Completed).unwrap();
+        assert!(l.phase().is_terminal());
+    }
+
+    #[test]
+    fn cancel_is_legal_from_queued_and_running() {
+        let mut l = PlanLifecycle::new();
+        l.advance(PlanPhase::Cancelled).unwrap();
+        let mut l = PlanLifecycle::new();
+        l.advance(PlanPhase::Running).unwrap();
+        l.advance(PlanPhase::Cancelled).unwrap();
+    }
+
+    #[test]
+    fn terminal_phases_are_absorbing() {
+        for terminal in [
+            PlanPhase::Completed,
+            PlanPhase::Cancelled,
+            PlanPhase::Failed,
+        ] {
+            for next in [
+                PlanPhase::Queued,
+                PlanPhase::Running,
+                PlanPhase::Completed,
+                PlanPhase::Cancelled,
+                PlanPhase::Failed,
+            ] {
+                assert!(
+                    !terminal.can_transition(next),
+                    "{terminal} → {next} must be illegal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skipping_running_to_complete_is_illegal() {
+        let mut l = PlanLifecycle::new();
+        let err = l.advance(PlanPhase::Completed).unwrap_err();
+        assert!(matches!(err, NetError::Protocol(_)), "{err}");
+        assert_eq!(l.phase(), PlanPhase::Queued, "phase unchanged on error");
+    }
+
+    #[test]
+    fn advance_if_legal_resolves_races_quietly() {
+        let mut l = PlanLifecycle::new();
+        l.advance(PlanPhase::Running).unwrap();
+        l.advance(PlanPhase::Completed).unwrap();
+        // A cancel racing completion loses without erroring.
+        assert_eq!(
+            l.advance_if_legal(PlanPhase::Cancelled),
+            PlanPhase::Completed
+        );
+    }
+
+    #[test]
+    fn requests_roundtrip_through_json() {
+        let reqs = [
+            ServiceRequest::SubmitPlan {
+                plan_json: "{\"studies\":[]}".into(),
+                trace_level: "blackbox".into(),
+            },
+            ServiceRequest::Watch {
+                plan: 7,
+                from_event: 3,
+            },
+            ServiceRequest::Results { plan: 7 },
+            ServiceRequest::Traces { plan: 7 },
+            ServiceRequest::Cancel { plan: 7 },
+            ServiceRequest::Status { plan: 7 },
+            ServiceRequest::Shutdown,
+        ];
+        for req in reqs {
+            let s = serde_json::to_string(&req).unwrap();
+            let back: ServiceRequest = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, req);
+            assert!(!req.kind().is_empty());
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip_through_json() {
+        let replies = [
+            ServiceReply::Submitted {
+                plan: 1,
+                total_runs: 12,
+            },
+            ServiceReply::Event {
+                plan: 1,
+                seq: 0,
+                event_json: "{}".into(),
+            },
+            ServiceReply::WatchEnd {
+                plan: 1,
+                phase: PlanPhase::Completed,
+            },
+            ServiceReply::Results {
+                plan: 1,
+                results_json: "[]".into(),
+            },
+            ServiceReply::Traces {
+                plan: 1,
+                traces_json: "[]".into(),
+            },
+            ServiceReply::Cancelled {
+                plan: 1,
+                phase: PlanPhase::Cancelled,
+            },
+            ServiceReply::Status {
+                plan: 1,
+                phase: PlanPhase::Running,
+                completed: 3,
+                total: 12,
+            },
+            ServiceReply::ShuttingDown,
+            ServiceReply::Error {
+                message: "no such plan".into(),
+            },
+        ];
+        for reply in replies {
+            let s = serde_json::to_string(&reply).unwrap();
+            let back: ServiceReply = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, reply);
+            assert!(!reply.kind().is_empty());
+        }
+    }
+}

@@ -5,7 +5,8 @@ use crate::error::NetError;
 use crate::message::Message;
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::io::{Read, Write};
+use serde::{Deserialize, Serialize};
+use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 
 /// A bidirectional, blocking message pipe.
@@ -77,14 +78,20 @@ impl Transport for InProcTransport {
 
 /// TCP transport endpoint: length-prefixed frames over a socket, the
 /// faithful reproduction of CARLA's client/server link.
+///
+/// Generic over the byte stream so tests can inject fault-carrying
+/// `Read`/`Write` impls; production code uses the [`TcpStream`] default.
+/// Besides the lockstep [`Transport`] impl it frames *any* serde value
+/// via [`TcpTransport::send_value`] / [`TcpTransport::recv_value`] — the
+/// campaign service's request/reply enums ride the same wire format.
 #[derive(Debug)]
-pub struct TcpTransport {
-    stream: TcpStream,
+pub struct TcpTransport<S = TcpStream> {
+    stream: S,
     inbox: BytesMut,
     outbox: BytesMut,
 }
 
-impl TcpTransport {
+impl TcpTransport<TcpStream> {
     /// Wraps a connected stream.
     ///
     /// # Errors
@@ -93,11 +100,7 @@ impl TcpTransport {
     /// latency would otherwise be dominated by Nagle's algorithm).
     pub fn new(stream: TcpStream) -> Result<Self, NetError> {
         stream.set_nodelay(true)?;
-        Ok(TcpTransport {
-            stream,
-            inbox: BytesMut::with_capacity(64 * 1024),
-            outbox: BytesMut::with_capacity(64 * 1024),
-        })
+        Ok(TcpTransport::from_stream(stream))
     }
 
     /// Connects to a listening server.
@@ -110,21 +113,58 @@ impl TcpTransport {
     }
 }
 
-impl Transport for TcpTransport {
-    fn send(&mut self, msg: Message) -> Result<(), NetError> {
-        self.send_reclaim(msg).map(|_| ())
+impl<S: Read + Write> TcpTransport<S> {
+    /// Wraps any byte stream without socket-specific setup (used by tests
+    /// to inject fault-carrying streams).
+    pub fn from_stream(stream: S) -> Self {
+        TcpTransport {
+            stream,
+            inbox: BytesMut::with_capacity(64 * 1024),
+            outbox: BytesMut::with_capacity(64 * 1024),
+        }
     }
 
-    fn send_reclaim(&mut self, msg: Message) -> Result<Option<Message>, NetError> {
+    /// Frames and sends one serde value.
+    ///
+    /// `ErrorKind::Interrupted` (EINTR — a signal landing during the
+    /// blocking write) is retried: it means "nothing happened", never
+    /// "the connection broke", so propagating it would kill a healthy
+    /// connection mid-frame and desync the peer.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Codec`] for unserializable or oversized payloads
+    /// (nothing is written), [`NetError::Disconnected`] when the peer is
+    /// gone, [`NetError::Io`] for other socket failures.
+    pub fn send_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), NetError> {
         self.outbox.clear();
-        codec::encode(&msg, &mut self.outbox)?;
-        self.stream.write_all(&self.outbox)?;
-        Ok(Some(msg))
+        codec::encode_value(value, &mut self.outbox)?;
+        let mut rest: &[u8] = &self.outbox;
+        while !rest.is_empty() {
+            match self.stream.write(rest) {
+                Ok(0) => return Err(NetError::Disconnected),
+                Ok(n) => rest = &rest[n..],
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
     }
 
-    fn recv(&mut self) -> Result<Message, NetError> {
+    /// Receives and decodes the next framed serde value, blocking until a
+    /// complete frame arrives.
+    ///
+    /// Like [`TcpTransport::send_value`], `ErrorKind::Interrupted` reads
+    /// are retried instead of propagated.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] on EOF or peer hangup,
+    /// [`NetError::Codec`] on malformed frames, [`NetError::Io`] for
+    /// other socket failures.
+    pub fn recv_value<T: Deserialize>(&mut self) -> Result<T, NetError> {
         loop {
-            if let Some(msg) = codec::decode(&mut self.inbox)? {
+            if let Some(msg) = codec::decode_value(&mut self.inbox)? {
                 return Ok(msg);
             }
             // Read straight into the accumulation buffer: `read` fills
@@ -137,24 +177,52 @@ impl Transport for TcpTransport {
             let want = codec::pending_frame_len(&self.inbox)
                 .map_or(READ_CHUNK, |total| (total - filled).max(READ_CHUNK));
             self.inbox.resize(filled + want, 0);
-            let n = self.stream.read(&mut self.inbox[filled..]);
-            // Restore the buffer to exactly the received bytes before
-            // propagating any error, or decode would see garbage next call.
-            self.inbox.truncate(filled + n.as_ref().map_or(0, |&n| n));
-            if n? == 0 {
+            let n = loop {
+                match self.stream.read(&mut self.inbox[filled..]) {
+                    Ok(n) => break n,
+                    // EINTR mid-frame: the read transferred nothing and
+                    // the connection is fine — retry with the same window.
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        // Restore the buffer to exactly the received bytes
+                        // before propagating, or decode would see garbage
+                        // next call.
+                        self.inbox.truncate(filled);
+                        return Err(e.into());
+                    }
+                }
+            };
+            self.inbox.truncate(filled + n);
+            if n == 0 {
                 return Err(NetError::Disconnected);
             }
         }
     }
 }
 
-/// Read-window granularity for [`TcpTransport::recv`].
+impl<S: Read + Write> Transport for TcpTransport<S> {
+    fn send(&mut self, msg: Message) -> Result<(), NetError> {
+        self.send_value(&msg)
+    }
+
+    fn send_reclaim(&mut self, msg: Message) -> Result<Option<Message>, NetError> {
+        self.send_value(&msg)?;
+        Ok(Some(msg))
+    }
+
+    fn recv(&mut self) -> Result<Message, NetError> {
+        self.recv_value()
+    }
+}
+
+/// Read-window granularity for [`TcpTransport::recv_value`].
 const READ_CHUNK: usize = 16 * 1024;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use avfi_sim::physics::VehicleControl;
+    use std::io;
     use std::net::TcpListener;
     use std::thread;
 
@@ -240,5 +308,146 @@ mod tests {
         let mut c = TcpTransport::connect(&addr.to_string()).unwrap();
         server.join().unwrap();
         assert!(matches!(c.recv(), Err(NetError::Disconnected)));
+    }
+
+    /// A stream that interrupts: every other `read` / `write` call fails
+    /// with `ErrorKind::Interrupted` (EINTR), and the calls that do
+    /// succeed move a single byte — the worst-case signal storm.
+    struct InterruptingStream {
+        /// Bytes served to `read`.
+        incoming: Vec<u8>,
+        read_pos: usize,
+        /// Bytes accepted from `write`.
+        written: Vec<u8>,
+        ops: usize,
+        reads_interrupted: usize,
+        writes_interrupted: usize,
+    }
+
+    impl InterruptingStream {
+        fn serving(incoming: Vec<u8>) -> Self {
+            InterruptingStream {
+                incoming,
+                read_pos: 0,
+                written: Vec::new(),
+                ops: 0,
+                reads_interrupted: 0,
+                writes_interrupted: 0,
+            }
+        }
+    }
+
+    impl Read for InterruptingStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.ops += 1;
+            if self.ops % 2 == 1 {
+                self.reads_interrupted += 1;
+                return Err(io::Error::new(ErrorKind::Interrupted, "EINTR"));
+            }
+            if self.read_pos >= self.incoming.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.incoming[self.read_pos];
+            self.read_pos += 1;
+            Ok(1)
+        }
+    }
+
+    impl Write for InterruptingStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.ops += 1;
+            if self.ops % 2 == 1 {
+                self.writes_interrupted += 1;
+                return Err(io::Error::new(ErrorKind::Interrupted, "EINTR"));
+            }
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.written.push(buf[0]);
+            Ok(1)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Regression (EINTR retry, recv path): a signal landing mid-frame
+    /// must not kill a healthy connection — every interrupted read is
+    /// retried until the frame completes.
+    #[test]
+    fn recv_retries_interrupted_reads_mid_frame() {
+        let mut wire = BytesMut::new();
+        codec::encode(&ctrl(99), &mut wire).unwrap();
+        let mut t = TcpTransport::from_stream(InterruptingStream::serving(wire.to_vec()));
+        assert_eq!(t.recv().unwrap(), ctrl(99));
+        assert!(
+            t.stream.reads_interrupted >= wire.len(),
+            "every other read was an EINTR ({} interrupts for {} bytes)",
+            t.stream.reads_interrupted,
+            wire.len()
+        );
+        // The connection stays usable: EOF after the frame is a clean
+        // disconnect, not a mid-frame failure.
+        assert!(matches!(t.recv(), Err(NetError::Disconnected)));
+    }
+
+    /// Regression (EINTR retry, send path): interrupted writes are
+    /// retried and the emitted frame is byte-perfect despite the storm.
+    #[test]
+    fn send_retries_interrupted_writes_mid_frame() {
+        let mut t = TcpTransport::from_stream(InterruptingStream::serving(Vec::new()));
+        t.send(ctrl(7)).unwrap();
+        let mut expected = BytesMut::new();
+        codec::encode(&ctrl(7), &mut expected).unwrap();
+        assert_eq!(t.stream.written, expected.to_vec());
+        assert!(t.stream.writes_interrupted >= expected.len());
+    }
+
+    /// Non-EINTR errors still propagate from the value paths.
+    struct FailingStream(ErrorKind);
+
+    impl Read for FailingStream {
+        fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+            Err(io::Error::new(self.0, "injected"))
+        }
+    }
+
+    impl Write for FailingStream {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::new(self.0, "injected"))
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn hard_errors_are_not_retried() {
+        let mut t = TcpTransport::from_stream(FailingStream(ErrorKind::PermissionDenied));
+        assert!(matches!(t.recv(), Err(NetError::Io(_))));
+        assert!(matches!(t.send(ctrl(1)), Err(NetError::Io(_))));
+        // Abortive hangup kinds surface as the routine Disconnected signal.
+        let mut t = TcpTransport::from_stream(FailingStream(ErrorKind::ConnectionReset));
+        assert!(matches!(t.recv(), Err(NetError::Disconnected)));
+        assert!(matches!(t.send(ctrl(1)), Err(NetError::Disconnected)));
+    }
+
+    #[test]
+    fn generic_values_roundtrip_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::new(stream).unwrap();
+            let v: Vec<u64> = t.recv_value().unwrap();
+            t.send_value(&v.iter().sum::<u64>()).unwrap();
+        });
+        let mut c = TcpTransport::connect(&addr.to_string()).unwrap();
+        c.send_value(&vec![1u64, 2, 3]).unwrap();
+        let sum: u64 = c.recv_value().unwrap();
+        assert_eq!(sum, 6);
+        server.join().unwrap();
     }
 }

@@ -1,0 +1,215 @@
+//! CLI client for the `avfi-server` campaign daemon.
+//!
+//! Subcommands (all network ones take `--addr HOST:PORT`, default
+//! `127.0.0.1:7700`):
+//!
+//! * `demo-plan [--out FILE]` — emit the demo `WorkPlan` as JSON.
+//! * `submit --plan FILE [--trace LEVEL]` — submit a plan JSON file;
+//!   prints the server-assigned plan id on stdout.
+//! * `watch --plan ID [--from N]` — stream the plan's progress events as
+//!   JSON lines until it is terminal; prints the final phase to stderr.
+//! * `results --plan ID [--out FILE]` — fetch the results payload
+//!   (blocks until terminal). The bytes are exactly what the server
+//!   serialized — diffable against `solo` output.
+//! * `traces --plan ID [--out FILE]` — fetch the plan's trace payload.
+//! * `cancel --plan ID` / `status --plan ID` / `shutdown`.
+//! * `run --plan FILE [--trace LEVEL] [--out FILE]` — submit, wait for
+//!   completion, fetch results (the submit/watch/results round trip as
+//!   one command).
+//! * `solo --plan FILE [--out FILE]` — execute the plan in-process with a
+//!   solo single-worker engine and emit byte-comparable results JSON (no
+//!   server involved; the determinism-gate reference).
+
+use avfi_core::WorkPlan;
+use avfi_net::NetError;
+use avfi_server::{demo_plan, solo_results_json, ServiceClient};
+use avfi_trace::TraceLevel;
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    plan_id: Option<u64>,
+    plan_file: Option<String>,
+    out: Option<String>,
+    trace: TraceLevel,
+    from: usize,
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        return usage();
+    };
+    let mut args = Args {
+        addr: "127.0.0.1:7700".to_string(),
+        plan_id: None,
+        plan_file: None,
+        out: None,
+        trace: TraceLevel::Off,
+        from: 0,
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--addr" => match argv.next() {
+                Some(a) => args.addr = a,
+                None => return usage(),
+            },
+            "--plan" => match argv.next() {
+                Some(p) => match p.parse::<u64>() {
+                    Ok(id) => args.plan_id = Some(id),
+                    Err(_) => args.plan_file = Some(p),
+                },
+                None => return usage(),
+            },
+            "--out" => match argv.next() {
+                Some(o) => args.out = Some(o),
+                None => return usage(),
+            },
+            "--trace" => match argv.next().as_deref().and_then(TraceLevel::parse) {
+                Some(level) => args.trace = level,
+                None => return usage(),
+            },
+            "--from" => match argv.next().and_then(|n| n.parse().ok()) {
+                Some(n) => args.from = n,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    match run(&cmd, &args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("[avfi-client] {cmd} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: &str, args: &Args) -> Result<ExitCode, NetError> {
+    match cmd {
+        "demo-plan" => {
+            let json = serde_json::to_string_pretty(&demo_plan())
+                .map_err(|e| NetError::Codec(e.to_string()))?;
+            emit(args.out.as_deref(), &json)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "solo" => {
+            let plan = load_plan(args)?;
+            let json = solo_results_json(&plan).map_err(|e| NetError::Codec(e.to_string()))?;
+            emit(args.out.as_deref(), &json)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "submit" => {
+            let plan = load_plan(args)?;
+            let mut client = ServiceClient::connect(&args.addr)?;
+            let (id, total) = client.submit(&plan, args.trace)?;
+            eprintln!("[avfi-client] plan {id} submitted ({total} runs)");
+            println!("{id}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "watch" => {
+            let id = plan_id(args)?;
+            let mut client = ServiceClient::connect(&args.addr)?;
+            let phase = client.watch(id, args.from, |seq, event| {
+                match serde_json::to_string(&event) {
+                    Ok(line) => {
+                        use std::io::Write;
+                        // A closed stdout (e.g. `watch | head`) ends the
+                        // stream quietly, like any line-oriented tool.
+                        if writeln!(std::io::stdout(), "{{\"seq\":{seq},\"event\":{line}}}")
+                            .is_err()
+                        {
+                            std::process::exit(0);
+                        }
+                    }
+                    Err(e) => eprintln!("[avfi-client] unprintable event {seq}: {e}"),
+                }
+            })?;
+            eprintln!("[avfi-client] plan {id} {phase}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "results" => {
+            let id = plan_id(args)?;
+            let json = ServiceClient::connect(&args.addr)?.results_json(id)?;
+            emit(args.out.as_deref(), &json)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "traces" => {
+            let id = plan_id(args)?;
+            let json = ServiceClient::connect(&args.addr)?.traces_json(id)?;
+            emit(args.out.as_deref(), &json)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "cancel" => {
+            let id = plan_id(args)?;
+            let phase = ServiceClient::connect(&args.addr)?.cancel(id)?;
+            eprintln!("[avfi-client] plan {id} {phase}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "status" => {
+            let id = plan_id(args)?;
+            let (phase, completed, total) = ServiceClient::connect(&args.addr)?.status(id)?;
+            println!("{phase} {completed}/{total}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "shutdown" => {
+            ServiceClient::connect(&args.addr)?.shutdown_server()?;
+            eprintln!("[avfi-client] server shutting down");
+            Ok(ExitCode::SUCCESS)
+        }
+        "run" => {
+            let plan = load_plan(args)?;
+            let mut client = ServiceClient::connect(&args.addr)?;
+            let (id, total) = client.submit(&plan, args.trace)?;
+            eprintln!("[avfi-client] plan {id} submitted ({total} runs)");
+            let phase = client.wait_terminal(id)?;
+            eprintln!("[avfi-client] plan {id} {phase}");
+            let json = client.results_json(id)?;
+            emit(args.out.as_deref(), &json)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Ok(usage()),
+    }
+}
+
+fn load_plan(args: &Args) -> Result<WorkPlan, NetError> {
+    let Some(path) = &args.plan_file else {
+        return Err(NetError::Protocol("missing --plan FILE".to_string()));
+    };
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|e| NetError::Protocol(format!("malformed plan: {e}")))
+}
+
+fn plan_id(args: &Args) -> Result<u64, NetError> {
+    args.plan_id
+        .ok_or_else(|| NetError::Protocol("missing --plan ID".to_string()))
+}
+
+fn emit(out: Option<&str>, payload: &str) -> Result<(), NetError> {
+    match out {
+        Some(path) => Ok(std::fs::write(path, payload)?),
+        None => {
+            println!("{payload}");
+            Ok(())
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: avfi-client <command> [--addr HOST:PORT] [options]\n\
+         commands:\n\
+         \x20 demo-plan [--out FILE]\n\
+         \x20 submit   --plan FILE [--trace off|summary|blackbox]\n\
+         \x20 watch    --plan ID [--from N]\n\
+         \x20 results  --plan ID [--out FILE]\n\
+         \x20 traces   --plan ID [--out FILE]\n\
+         \x20 cancel   --plan ID\n\
+         \x20 status   --plan ID\n\
+         \x20 run      --plan FILE [--trace LEVEL] [--out FILE]\n\
+         \x20 solo     --plan FILE [--out FILE]\n\
+         \x20 shutdown"
+    );
+    ExitCode::from(2)
+}

@@ -1,0 +1,72 @@
+//! The campaign daemon: a persistent fault-injection service.
+//!
+//! Accepts serialized `WorkPlan` submissions from many concurrent
+//! `avfi-client` connections, multiplexes them onto one shared worker
+//! pool, and serves progress streams, results, and traces by plan id.
+//! Runs until a client sends a shutdown request.
+//!
+//! Usage: `avfi-server [--addr HOST:PORT] [--workers N] [--addr-file PATH]`
+//!
+//! * `--addr` — listen address (default `127.0.0.1:7700`; port 0 picks an
+//!   ephemeral port).
+//! * `--workers` — pool worker threads (default 0 = one per core).
+//! * `--addr-file` — write the actually bound address to this file once
+//!   listening (how scripts discover an ephemeral port).
+
+use avfi_server::CampaignServer;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7700".to_string();
+    let mut workers = 0usize;
+    let mut addr_file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => return usage(),
+            },
+            "--workers" => match args.next().and_then(|w| w.parse().ok()) {
+                Some(w) => workers = w,
+                None => return usage(),
+            },
+            "--addr-file" => match args.next() {
+                Some(p) => addr_file = Some(p),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let server = match CampaignServer::bind(&addr, workers) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[avfi-server] cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = server.local_addr();
+    if let Some(path) = addr_file {
+        if let Err(e) = std::fs::write(&path, bound.to_string()) {
+            eprintln!("[avfi-server] cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("[avfi-server] listening on {bound}");
+    match server.run() {
+        Ok(()) => {
+            eprintln!("[avfi-server] shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("[avfi-server] accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: avfi-server [--addr HOST:PORT] [--workers N] [--addr-file PATH]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,506 @@
+//! # avfi-server — fault injection as a service
+//!
+//! AVFI frames campaign execution as a client/server system: the
+//! simulation cluster runs campaigns while experimenters submit work and
+//! pull results from the outside. This crate is that seam for the
+//! reproduction — a persistent daemon ([`CampaignServer`]) that accepts
+//! serialized [`WorkPlan`]s from many concurrent TCP clients, multiplexes
+//! every plan onto one shared [`MultiplexPool`], streams per-plan
+//! progress events back as frames, and serves results and traces by plan
+//! id; plus the matching client library ([`ServiceClient`]) the
+//! `avfi-client` CLI wraps.
+//!
+//! ## Protocol
+//!
+//! The wire format is the [`avfi_net::proto`] campaign protocol:
+//! [`ServiceRequest`] / [`ServiceReply`] frames over the same
+//! length-prefixed framing the lockstep simulation loop uses. Plan,
+//! event, result, and trace payloads are opaque JSON strings on the wire
+//! (`avfi-net` sits below `avfi-core`); this crate owns the concrete
+//! types on both ends and serializes them with the same `serde_json`,
+//! so a retrieved results payload is **byte-identical** to a local
+//! `serde_json::to_string` of the same solo [`Engine`] run — the
+//! property the determinism gate diffs on.
+//!
+//! ## Concurrency model
+//!
+//! One thread per connection, all submissions landing in one shared
+//! [`MultiplexPool`] (fair round-robin across plans, per-plan
+//! cancellation). Client disconnects never abort a running plan: the
+//! server's plan registry keeps the [`PlanTicket`] until shutdown, so a
+//! client can drop mid-watch and later fetch results over a fresh
+//! connection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use avfi_core::campaign::{AgentSpec, CampaignConfig};
+use avfi_core::engine::{Engine, MultiplexPool, PlanTicket};
+use avfi_core::fault::timing::TimingFault;
+use avfi_core::fault::FaultSpec;
+use avfi_core::{ProgressEvent, StudyResult, WorkPlan};
+use avfi_net::proto::{PlanId, PlanPhase, ServiceReply, ServiceRequest};
+use avfi_net::{NetError, TcpTransport};
+use avfi_sim::scenario::{Scenario, TownSpec};
+use avfi_trace::{RunTrace, TraceLevel};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Plans the server has accepted, kept until daemon shutdown so results
+/// outlive the submitting connection.
+type Registry = parking_lot::Mutex<BTreeMap<PlanId, PlanTicket>>;
+
+/// The campaign daemon: accepts connections, executes submitted plans on
+/// one shared pool, serves progress/results/traces by plan id.
+#[derive(Debug)]
+pub struct CampaignServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    pool: Arc<MultiplexPool>,
+    registry: Arc<Registry>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl CampaignServer {
+    /// Binds the daemon to `addr` (use port 0 for an ephemeral port) with
+    /// `workers` pool threads (0 = one per core).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str, workers: usize) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(CampaignServer {
+            listener,
+            addr,
+            pool: Arc::new(MultiplexPool::new(workers)),
+            registry: Arc::new(parking_lot::Mutex::new(BTreeMap::new())),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address the daemon actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves connections until a client sends [`ServiceRequest::Shutdown`].
+    /// Each connection gets its own thread; plans keep running when their
+    /// submitter disconnects. On shutdown every still-active plan is
+    /// cancelled and the call returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop failures (interrupted accepts are
+    /// retried).
+    pub fn run(self) -> Result<(), NetError> {
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            };
+            let pool = Arc::clone(&self.pool);
+            let registry = Arc::clone(&self.registry);
+            let shutdown = Arc::clone(&self.shutdown);
+            let addr = self.addr;
+            // Detached: a handler blocked on an idle client's next request
+            // must not delay shutdown; the process owns thread lifetime.
+            std::thread::Builder::new()
+                .name("avfi-conn".into())
+                .spawn(move || handle_connection(stream, &pool, &registry, &shutdown, addr))
+                .expect("spawn connection handler");
+        }
+        for ticket in self.registry.lock().values() {
+            ticket.cancel();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection: a loop of request/reply exchanges. Returns (and
+/// drops the connection) when the client disconnects or breaks framing;
+/// submitted plans are unaffected either way.
+fn handle_connection(
+    stream: TcpStream,
+    pool: &MultiplexPool,
+    registry: &Registry,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) {
+    let Ok(mut transport) = TcpTransport::new(stream) else {
+        return;
+    };
+    loop {
+        let request: ServiceRequest = match transport.recv_value() {
+            Ok(r) => r,
+            // Disconnect, torn frame, or junk: this client is done.
+            Err(_) => return,
+        };
+        let keep_going = serve_request(&mut transport, request, pool, registry, shutdown, addr);
+        if keep_going.is_err() {
+            // The client vanished mid-reply (e.g. dropped during a watch
+            // stream); its plans keep running for later retrieval.
+            return;
+        }
+    }
+}
+
+/// Handles one request, sending every reply frame it produces. `Err`
+/// means the *connection* failed; request-level failures are reported to
+/// the client as [`ServiceReply::Error`] and return `Ok`.
+fn serve_request(
+    transport: &mut TcpTransport,
+    request: ServiceRequest,
+    pool: &MultiplexPool,
+    registry: &Registry,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) -> Result<(), NetError> {
+    match request {
+        ServiceRequest::SubmitPlan {
+            plan_json,
+            trace_level,
+        } => {
+            let Some(level) = TraceLevel::parse(&trace_level) else {
+                return transport.send_value(&ServiceReply::Error {
+                    message: format!("unknown trace level {trace_level:?}"),
+                });
+            };
+            match serde_json::from_str::<WorkPlan>(&plan_json) {
+                Ok(plan) => {
+                    let ticket = pool.submit_traced(plan, level, 30.0);
+                    registry.lock().insert(ticket.id(), ticket.clone());
+                    transport.send_value(&ServiceReply::Submitted {
+                        plan: ticket.id(),
+                        total_runs: ticket.total_runs(),
+                    })
+                }
+                Err(e) => transport.send_value(&ServiceReply::Error {
+                    message: format!("malformed plan: {e}"),
+                }),
+            }
+        }
+        ServiceRequest::Watch { plan, from_event } => {
+            let Some(ticket) = lookup(registry, plan) else {
+                return send_unknown_plan(transport, plan);
+            };
+            let mut next = from_event;
+            loop {
+                let (events, phase) = ticket.wait_events_after(next);
+                for e in &events {
+                    let event_json = serde_json::to_string(&e.event)
+                        .map_err(|err| NetError::Codec(err.to_string()))?;
+                    transport.send_value(&ServiceReply::Event {
+                        plan,
+                        seq: e.seq,
+                        event_json,
+                    })?;
+                }
+                next += events.len();
+                if phase.is_terminal() {
+                    // The snapshot and the phase come from one lock hold,
+                    // so a terminal phase means the log above is complete.
+                    return transport.send_value(&ServiceReply::WatchEnd { plan, phase });
+                }
+            }
+        }
+        ServiceRequest::Results { plan } => {
+            let Some(ticket) = lookup(registry, plan) else {
+                return send_unknown_plan(transport, plan);
+            };
+            match ticket.wait_results() {
+                Some(results) => {
+                    let results_json = serde_json::to_string(&results)
+                        .map_err(|e| NetError::Codec(e.to_string()))?;
+                    transport.send_value(&ServiceReply::Results { plan, results_json })
+                }
+                None => transport.send_value(&ServiceReply::Error {
+                    message: format!("plan {plan} has no results (phase {})", ticket.phase()),
+                }),
+            }
+        }
+        ServiceRequest::Traces { plan } => {
+            let Some(ticket) = lookup(registry, plan) else {
+                return send_unknown_plan(transport, plan);
+            };
+            ticket.wait_terminal();
+            let traces_json = serde_json::to_string(&ticket.traces())
+                .map_err(|e| NetError::Codec(e.to_string()))?;
+            transport.send_value(&ServiceReply::Traces { plan, traces_json })
+        }
+        ServiceRequest::Cancel { plan } => {
+            let Some(ticket) = lookup(registry, plan) else {
+                return send_unknown_plan(transport, plan);
+            };
+            let phase = ticket.cancel();
+            transport.send_value(&ServiceReply::Cancelled { plan, phase })
+        }
+        ServiceRequest::Status { plan } => {
+            let Some(ticket) = lookup(registry, plan) else {
+                return send_unknown_plan(transport, plan);
+            };
+            transport.send_value(&ServiceReply::Status {
+                plan,
+                phase: ticket.phase(),
+                completed: ticket.completed_runs(),
+                total: ticket.total_runs(),
+            })
+        }
+        ServiceRequest::Shutdown => {
+            shutdown.store(true, Ordering::Release);
+            let ack = transport.send_value(&ServiceReply::ShuttingDown);
+            // Unblock the accept loop so it observes the flag; the
+            // throwaway connection is dropped immediately.
+            drop(TcpStream::connect(addr));
+            ack
+        }
+    }
+}
+
+fn lookup(registry: &Registry, plan: PlanId) -> Option<PlanTicket> {
+    registry.lock().get(&plan).cloned()
+}
+
+fn send_unknown_plan(transport: &mut TcpTransport, plan: PlanId) -> Result<(), NetError> {
+    transport.send_value(&ServiceReply::Error {
+        message: format!("unknown plan id {plan}"),
+    })
+}
+
+/// Client side of the campaign protocol: one connection, a sequence of
+/// request/reply exchanges (see [`avfi_net::proto`]).
+#[derive(Debug)]
+pub struct ServiceClient {
+    transport: TcpTransport,
+}
+
+impl ServiceClient {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> Result<Self, NetError> {
+        Ok(ServiceClient {
+            transport: TcpTransport::connect(addr)?,
+        })
+    }
+
+    fn request(&mut self, request: &ServiceRequest) -> Result<ServiceReply, NetError> {
+        self.transport.send_value(request)?;
+        self.transport.recv_value()
+    }
+
+    /// Turns a [`ServiceReply::Error`] into [`NetError::Protocol`].
+    fn fail(reply: ServiceReply) -> NetError {
+        match reply {
+            ServiceReply::Error { message } => NetError::Protocol(message),
+            other => NetError::Protocol(format!("unexpected {} reply", other.kind())),
+        }
+    }
+
+    /// Submits a plan; returns its server-assigned id and total run count.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`NetError::Protocol`] when the server
+    /// rejects the plan.
+    pub fn submit(
+        &mut self,
+        plan: &WorkPlan,
+        trace_level: TraceLevel,
+    ) -> Result<(PlanId, usize), NetError> {
+        let plan_json = serde_json::to_string(plan).map_err(|e| NetError::Codec(e.to_string()))?;
+        match self.request(&ServiceRequest::SubmitPlan {
+            plan_json,
+            trace_level: trace_level.as_str().to_string(),
+        })? {
+            ServiceReply::Submitted { plan, total_runs } => Ok((plan, total_runs)),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Streams a plan's progress events (starting at sequence number
+    /// `from_event`) into `on_event` until the plan is terminal; returns
+    /// the terminal phase.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`NetError::Protocol`] for unknown plans
+    /// and undecodable events.
+    pub fn watch(
+        &mut self,
+        plan: PlanId,
+        from_event: usize,
+        mut on_event: impl FnMut(usize, ProgressEvent),
+    ) -> Result<PlanPhase, NetError> {
+        self.transport
+            .send_value(&ServiceRequest::Watch { plan, from_event })?;
+        loop {
+            match self.transport.recv_value()? {
+                ServiceReply::Event {
+                    seq, event_json, ..
+                } => {
+                    let event: ProgressEvent = serde_json::from_str(&event_json)
+                        .map_err(|e| NetError::Protocol(format!("undecodable event: {e}")))?;
+                    on_event(seq, event);
+                }
+                ServiceReply::WatchEnd { phase, .. } => return Ok(phase),
+                other => return Err(Self::fail(other)),
+            }
+        }
+    }
+
+    /// Blocks until the plan reaches a terminal phase and returns it
+    /// (a watch from past the end of the event stream).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServiceClient::watch`].
+    pub fn wait_terminal(&mut self, plan: PlanId) -> Result<PlanPhase, NetError> {
+        self.watch(plan, usize::MAX, |_, _| {})
+    }
+
+    /// Retrieves a completed plan's results as the server's raw JSON
+    /// payload — the byte-exact artifact the determinism gate diffs
+    /// against a solo engine run. Blocks until the plan is terminal.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`NetError::Protocol`] when the plan is
+    /// unknown or finished without results (cancelled/failed).
+    pub fn results_json(&mut self, plan: PlanId) -> Result<String, NetError> {
+        match self.request(&ServiceRequest::Results { plan })? {
+            ServiceReply::Results { results_json, .. } => Ok(results_json),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Retrieves and deserializes a completed plan's results.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServiceClient::results_json`].
+    pub fn results(&mut self, plan: PlanId) -> Result<Vec<StudyResult>, NetError> {
+        let json = self.results_json(plan)?;
+        serde_json::from_str(&json).map_err(|e| NetError::Protocol(format!("bad results: {e}")))
+    }
+
+    /// Retrieves a plan's traces as the server's raw JSON payload.
+    /// Blocks until the plan is terminal.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`NetError::Protocol`] for unknown plans.
+    pub fn traces_json(&mut self, plan: PlanId) -> Result<String, NetError> {
+        match self.request(&ServiceRequest::Traces { plan })? {
+            ServiceReply::Traces { traces_json, .. } => Ok(traces_json),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Retrieves and deserializes a plan's traces, keyed by flat plan
+    /// index.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServiceClient::traces_json`].
+    pub fn traces(&mut self, plan: PlanId) -> Result<Vec<(usize, RunTrace)>, NetError> {
+        let json = self.traces_json(plan)?;
+        serde_json::from_str(&json).map_err(|e| NetError::Protocol(format!("bad traces: {e}")))
+    }
+
+    /// Cancels a plan; returns the phase after the cancel took effect.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`NetError::Protocol`] for unknown plans.
+    pub fn cancel(&mut self, plan: PlanId) -> Result<PlanPhase, NetError> {
+        match self.request(&ServiceRequest::Cancel { plan })? {
+            ServiceReply::Cancelled { phase, .. } => Ok(phase),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Queries a plan's phase and `(completed, total)` run counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`NetError::Protocol`] for unknown plans.
+    pub fn status(&mut self, plan: PlanId) -> Result<(PlanPhase, usize, usize), NetError> {
+        match self.request(&ServiceRequest::Status { plan })? {
+            ServiceReply::Status {
+                phase,
+                completed,
+                total,
+                ..
+            } => Ok((phase, completed, total)),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Asks the daemon to shut down cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`NetError::Protocol`] on an unexpected
+    /// reply.
+    pub fn shutdown_server(&mut self) -> Result<(), NetError> {
+        match self.request(&ServiceRequest::Shutdown)? {
+            ServiceReply::ShuttingDown => Ok(()),
+            other => Err(Self::fail(other)),
+        }
+    }
+}
+
+/// The demo plan the quickstart and the smoke tier submit: a baseline
+/// study next to an output-delay study on small deterministic towns —
+/// big enough to exercise multiplexed scheduling, small enough to finish
+/// in seconds.
+pub fn demo_plan() -> WorkPlan {
+    fn scenario(seed: u64) -> Scenario {
+        let mut town = TownSpec::grid(2, 2);
+        town.signalized = false;
+        Scenario::builder(town)
+            .seed(seed)
+            .npc_vehicles(0)
+            .pedestrians(0)
+            .time_budget(15.0)
+            .min_route_length(50.0)
+            .build()
+    }
+    fn campaign(seed: u64, fault: FaultSpec) -> CampaignConfig {
+        CampaignConfig::builder(vec![scenario(seed), scenario(seed + 1)])
+            .runs_per_scenario(1)
+            .fault(fault)
+            .agent(AgentSpec::Expert)
+            .build()
+    }
+    WorkPlan::new()
+        .with_study("baseline", vec![campaign(2018, FaultSpec::None)])
+        .with_study(
+            "output-delay",
+            vec![campaign(
+                2018,
+                FaultSpec::Timing(TimingFault::OutputDelay { frames: 8 }),
+            )],
+        )
+}
+
+/// Executes `plan` in-process with a solo single-worker [`Engine`] and
+/// returns the results serialized exactly as the server serializes them —
+/// the reference artifact for the determinism gate.
+///
+/// # Errors
+///
+/// Propagates serialization failures (none occur for these types).
+pub fn solo_results_json(plan: &WorkPlan) -> Result<String, serde_json::Error> {
+    serde_json::to_string(&Engine::new().workers(1).execute(plan))
+}

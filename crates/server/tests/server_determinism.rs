@@ -1,0 +1,135 @@
+//! The multiplexed determinism gate: many concurrent clients submit
+//! distinct plans to one daemon sharing one worker pool, and every
+//! retrieved results payload must be **byte-identical** to a solo
+//! single-worker `Engine::execute` of the same plan.
+
+use avfi_core::campaign::{AgentSpec, CampaignConfig};
+use avfi_core::fault::timing::TimingFault;
+use avfi_core::fault::FaultSpec;
+use avfi_core::{ProgressEvent, WorkPlan};
+use avfi_net::proto::PlanPhase;
+use avfi_server::{solo_results_json, CampaignServer, ServiceClient};
+use avfi_sim::scenario::{Scenario, TownSpec};
+use avfi_trace::TraceLevel;
+
+fn scenario(seed: u64) -> Scenario {
+    let mut town = TownSpec::grid(2, 2);
+    town.signalized = false;
+    Scenario::builder(town)
+        .seed(seed)
+        .npc_vehicles(0)
+        .pedestrians(0)
+        .time_budget(15.0)
+        .min_route_length(50.0)
+        .build()
+}
+
+/// A distinct two-study plan per client: different seeds, and a timing
+/// fault on the second study so plans exercise different code paths.
+fn client_plan(client: u64) -> WorkPlan {
+    let seed = 9000 + client * 10;
+    let base = CampaignConfig::builder(vec![scenario(seed), scenario(seed + 1)])
+        .runs_per_scenario(1)
+        .fault(FaultSpec::None)
+        .agent(AgentSpec::Expert)
+        .build();
+    let delayed = CampaignConfig::builder(vec![scenario(seed + 2)])
+        .runs_per_scenario(1)
+        .fault(FaultSpec::Timing(TimingFault::OutputDelay {
+            frames: 4 + client as usize,
+        }))
+        .agent(AgentSpec::Expert)
+        .build();
+    WorkPlan::new()
+        .with_study("baseline", vec![base])
+        .with_study("delayed", vec![delayed])
+}
+
+#[test]
+fn eight_concurrent_clients_get_solo_identical_results() {
+    const CLIENTS: u64 = 8;
+    let server = CampaignServer::bind("127.0.0.1:0", 2).expect("bind");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run());
+
+    // Each client runs on its own thread with its own connection:
+    // submit, watch the full event stream, then fetch results.
+    let fetched: Vec<(u64, u64, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut c = ServiceClient::connect(&addr).expect("connect");
+                    let plan = client_plan(client);
+                    let (id, total) = c.submit(&plan, TraceLevel::Off).expect("submit");
+                    assert_eq!(total, plan.total_runs());
+                    let mut run_events = 0usize;
+                    let phase = c
+                        .watch(id, 0, |_, event| {
+                            if matches!(event, ProgressEvent::RunCompleted { .. }) {
+                                run_events += 1;
+                            }
+                        })
+                        .expect("watch");
+                    assert_eq!(phase, PlanPhase::Completed);
+                    assert_eq!(run_events, total, "client {client} missed run events");
+                    let json = c.results_json(id).expect("results");
+                    (client, id, json)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+
+    assert_eq!(fetched.len() as u64, CLIENTS);
+    for (client, _, served_json) in &fetched {
+        let solo = solo_results_json(&client_plan(*client)).expect("solo");
+        assert_eq!(
+            served_json, &solo,
+            "client {client}: served results differ from solo engine run"
+        );
+    }
+
+    // Status on a completed plan reports full completion, and a second
+    // retrieval over a fresh connection returns the same bytes (results
+    // are stable server-side and outlive the submitting connection).
+    let (_, sample_id, sample_json) = &fetched[0];
+    let mut c = ServiceClient::connect(&addr).expect("reconnect");
+    let (phase, completed, total) = c.status(*sample_id).expect("status");
+    assert_eq!(phase, PlanPhase::Completed);
+    assert_eq!(completed, total);
+    let again = c.results_json(*sample_id).expect("re-fetch");
+    assert_eq!(
+        &again, sample_json,
+        "re-fetched results must be byte-stable"
+    );
+
+    c.shutdown_server().expect("shutdown");
+    daemon.join().expect("daemon thread").expect("daemon run");
+}
+
+#[test]
+fn unknown_plans_and_bad_submissions_fail_soft() {
+    let server = CampaignServer::bind("127.0.0.1:0", 1).expect("bind");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run());
+
+    let mut c = ServiceClient::connect(&addr).expect("connect");
+    // Unknown plan id: an error reply, and the connection stays usable.
+    assert!(c.results_json(999).is_err());
+    assert!(c.status(999).is_err());
+    // A usable connection can still submit and complete a real plan.
+    let plan = client_plan(0);
+    let (id, _) = c.submit(&plan, TraceLevel::Off).expect("submit");
+    assert_eq!(c.wait_terminal(id).expect("wait"), PlanPhase::Completed);
+    assert_eq!(
+        c.results_json(id).expect("results"),
+        solo_results_json(&plan).expect("solo")
+    );
+
+    c.shutdown_server().expect("shutdown");
+    daemon.join().expect("daemon thread").expect("daemon run");
+}

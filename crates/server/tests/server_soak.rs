@@ -1,0 +1,227 @@
+//! Soak test: concurrent clients hammer one daemon with randomized
+//! submit / cancel / disconnect interleavings (seeded, so a failure
+//! reproduces), and the server must survive with every *completed* plan
+//! still bit-identical to its solo golden.
+
+use avfi_core::campaign::{AgentSpec, CampaignConfig};
+use avfi_core::fault::timing::TimingFault;
+use avfi_core::fault::FaultSpec;
+use avfi_core::WorkPlan;
+use avfi_net::proto::{PlanPhase, ServiceReply, ServiceRequest};
+use avfi_net::TcpTransport;
+use avfi_server::{solo_results_json, CampaignServer, ServiceClient};
+use avfi_sim::scenario::{Scenario, TownSpec};
+use avfi_trace::TraceLevel;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const CLIENTS: u64 = 6;
+const PLANS_PER_CLIENT: u64 = 3;
+
+fn scenario(seed: u64) -> Scenario {
+    let mut town = TownSpec::grid(2, 2);
+    town.signalized = false;
+    Scenario::builder(town)
+        .seed(seed)
+        .npc_vehicles(0)
+        .pedestrians(0)
+        .time_budget(15.0)
+        .min_route_length(50.0)
+        .build()
+}
+
+/// Deterministic per-(client, round) plan so completed results can be
+/// compared against a solo golden computed independently.
+fn soak_plan(client: u64, round: u64) -> WorkPlan {
+    let seed = 31_000 + client * 100 + round * 7;
+    let fault = if round.is_multiple_of(2) {
+        FaultSpec::None
+    } else {
+        FaultSpec::Timing(TimingFault::OutputDelay {
+            frames: 2 + (client as usize % 5),
+        })
+    };
+    let campaign = CampaignConfig::builder(vec![scenario(seed), scenario(seed + 1)])
+        .runs_per_scenario(1)
+        .fault(fault)
+        .agent(AgentSpec::Expert)
+        .build();
+    WorkPlan::new().with_study("soak", vec![campaign])
+}
+
+/// What one client does with one plan, drawn from its seeded RNG.
+enum Action {
+    /// Submit, wait for completion, fetch and verify results.
+    Complete,
+    /// Submit and cancel immediately; accept any terminal phase.
+    CancelEarly,
+    /// Submit, start watching, and drop the connection mid-stream; the
+    /// plan must finish anyway and be fetchable over a new connection.
+    DisconnectMidWatch,
+}
+
+fn pick_action(rng: &mut StdRng) -> Action {
+    match rng.random_range(0..3usize) {
+        0 => Action::Complete,
+        1 => Action::CancelEarly,
+        _ => Action::DisconnectMidWatch,
+    }
+}
+
+#[test]
+fn randomized_soak_survives_cancels_and_disconnects() {
+    let server = CampaignServer::bind("127.0.0.1:0", 2).expect("bind");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run());
+
+    // (client, round, plan id) of plans expected to have completed.
+    let completed: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0x50A4 ^ client);
+                    let mut done = Vec::new();
+                    for round in 0..PLANS_PER_CLIENT {
+                        let plan = soak_plan(client, round);
+                        match pick_action(&mut rng) {
+                            Action::Complete => {
+                                let mut c = ServiceClient::connect(&addr).expect("connect");
+                                let (id, _) = c.submit(&plan, TraceLevel::Off).expect("submit");
+                                assert_eq!(
+                                    c.wait_terminal(id).expect("wait"),
+                                    PlanPhase::Completed
+                                );
+                                done.push((client, round, id));
+                            }
+                            Action::CancelEarly => {
+                                let mut c = ServiceClient::connect(&addr).expect("connect");
+                                let (id, _) = c.submit(&plan, TraceLevel::Off).expect("submit");
+                                let phase = c.cancel(id).expect("cancel");
+                                // Any resolution of the cancel/complete
+                                // race is legal, but it must settle.
+                                let terminal = c.wait_terminal(id).expect("wait");
+                                assert!(terminal.is_terminal(), "{phase} -> {terminal}");
+                                if terminal == PlanPhase::Completed {
+                                    done.push((client, round, id));
+                                }
+                            }
+                            Action::DisconnectMidWatch => {
+                                let mut c = ServiceClient::connect(&addr).expect("connect");
+                                let (id, _) = c.submit(&plan, TraceLevel::Off).expect("submit");
+                                // A raw watch connection, dropped with the
+                                // event stream still in flight: the server
+                                // handler hits a dead socket mid-send and
+                                // must shrug it off.
+                                let mut watcher =
+                                    TcpTransport::connect(&addr).expect("watcher connect");
+                                watcher
+                                    .send_value(&ServiceRequest::Watch {
+                                        plan: id,
+                                        from_event: 0,
+                                    })
+                                    .expect("watch request");
+                                let _first: ServiceReply =
+                                    watcher.recv_value().expect("first event frame");
+                                drop(watcher);
+                                // The plan is unaffected: finish and
+                                // verify over the original connection.
+                                assert_eq!(
+                                    c.wait_terminal(id).expect("wait"),
+                                    PlanPhase::Completed
+                                );
+                                done.push((client, round, id));
+                            }
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("soak client"))
+            .collect()
+    });
+
+    // Every completed plan's served bytes must equal its solo golden.
+    let mut c = ServiceClient::connect(&addr).expect("verify connect");
+    assert!(
+        !completed.is_empty(),
+        "soak produced no completed plans to verify"
+    );
+    for (client, round, id) in &completed {
+        let served = c.results_json(*id).expect("results");
+        let solo = solo_results_json(&soak_plan(*client, *round)).expect("solo");
+        assert_eq!(
+            served, solo,
+            "client {client} round {round}: served results drifted from solo golden"
+        );
+    }
+
+    // The daemon is still healthy after the storm: one more full plan.
+    let plan = soak_plan(99, 0);
+    let (id, _) = c.submit(&plan, TraceLevel::Off).expect("final submit");
+    assert_eq!(
+        c.wait_terminal(id).expect("final wait"),
+        PlanPhase::Completed
+    );
+    assert_eq!(
+        c.results_json(id).expect("final results"),
+        solo_results_json(&plan).expect("final solo")
+    );
+
+    c.shutdown_server().expect("shutdown");
+    daemon.join().expect("daemon thread").expect("daemon run");
+}
+
+/// Cancelled plans must refuse results with a soft error while keeping
+/// the connection usable, and traces retrieval must work for traced
+/// plans after completion.
+#[test]
+fn cancelled_plans_refuse_results_and_traced_plans_serve_traces() {
+    let server = CampaignServer::bind("127.0.0.1:0", 1).expect("bind");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run());
+
+    let mut c = ServiceClient::connect(&addr).expect("connect");
+
+    // A stuck-brake plan at blackbox level must emit failure traces.
+    let stuck = {
+        use avfi_core::fault::hardware::{BitFaultModel, HardwareFault, HardwareTarget};
+        let fault = FaultSpec::Hardware(HardwareFault::always(
+            HardwareTarget::ControlBrake,
+            BitFaultModel::StuckAt { value: 1.0 },
+        ));
+        let campaign = CampaignConfig::builder(vec![scenario(77_000)])
+            .runs_per_scenario(1)
+            .fault(fault)
+            .agent(AgentSpec::Expert)
+            .build();
+        WorkPlan::new().with_study("stuck", vec![campaign])
+    };
+    let (traced_id, _) = c
+        .submit(&stuck, TraceLevel::Blackbox)
+        .expect("submit traced");
+    assert_eq!(
+        c.wait_terminal(traced_id).expect("wait"),
+        PlanPhase::Completed
+    );
+    let traces = c.traces(traced_id).expect("traces");
+    assert!(!traces.is_empty(), "stuck-brake plan must serve traces");
+    assert!(traces[0].1.is_failure());
+
+    // Cancel a fresh plan before fetching: results must fail soft.
+    let (id, _) = c.submit(&soak_plan(1, 1), TraceLevel::Off).expect("submit");
+    c.cancel(id).expect("cancel");
+    let terminal = c.wait_terminal(id).expect("wait");
+    if terminal == PlanPhase::Cancelled {
+        assert!(c.results_json(id).is_err(), "cancelled plan served results");
+    }
+    // The same connection still works after the error reply.
+    let (phase, _, _) = c.status(id).expect("status");
+    assert!(phase.is_terminal());
+
+    c.shutdown_server().expect("shutdown");
+    daemon.join().expect("daemon thread").expect("daemon run");
+}

@@ -19,6 +19,10 @@
 # disagree, and diffs the span output bit-for-bit against the checked-in
 # .avimg artifacts in results/golden/camera/.
 #
+# A server tier boots the avfi-server campaign daemon, drives it over TCP
+# with avfi-client, and asserts the served results are byte-identical to a
+# solo engine run and to the checked-in golden, then shuts it down cleanly.
+#
 # Usage: scripts/smoke.sh [--bless]
 #   --bless   regenerate the goldens instead of diffing against them
 #
@@ -147,6 +151,62 @@ else
       echo "  (if the change is intentional, rerun: scripts/smoke.sh --bless)" >&2
       fail=1
     fi
+  fi
+fi
+
+# Server tier: start the campaign daemon on an ephemeral port, submit the
+# demo plan through avfi-client, and diff the JSON the daemon serves
+# against both a solo-engine run of the same plan (byte-identity gate)
+# and the checked-in golden. Exercises the full submit / watch / fetch /
+# shutdown protocol over real TCP.
+SERVER_DIR="$SMOKE_DIR/server"
+ADDR_FILE="$SERVER_DIR/addr"
+echo "==> smoke: building avfi-server"
+cargo build --release -q -p avfi-server
+mkdir -p "$SERVER_DIR"
+target/release/avfi-server --addr 127.0.0.1:0 --workers 2 \
+  --addr-file "$ADDR_FILE" >"$SERVER_DIR/server.stdout" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$ADDR_FILE" ]] && break
+  sleep 0.1
+done
+if [[ ! -s "$ADDR_FILE" ]]; then
+  echo "smoke FAIL: avfi-server never wrote its address file" >&2
+  kill "$SERVER_PID" 2>/dev/null || true
+  fail=1
+else
+  ADDR=$(cat "$ADDR_FILE")
+  echo "==> smoke: avfi-client run (demo plan) against $ADDR"
+  target/release/avfi-client demo-plan --out "$SERVER_DIR/plan.json"
+  if ! target/release/avfi-client run --addr "$ADDR" --plan "$SERVER_DIR/plan.json" \
+      --out "$SERVER_DIR/served.json" >"$SERVER_DIR/client.stdout"; then
+    echo "smoke FAIL: avfi-client run failed against the daemon" >&2
+    fail=1
+  fi
+  target/release/avfi-client solo --plan "$SERVER_DIR/plan.json" \
+    --out "$SERVER_DIR/solo.json" >>"$SERVER_DIR/client.stdout"
+  if ! diff -u "$SERVER_DIR/solo.json" "$SERVER_DIR/served.json"; then
+    echo "smoke FAIL: daemon-served results differ from the solo engine run" >&2
+    fail=1
+  fi
+  if [[ "$BLESS" == 1 ]]; then
+    cp "$SERVER_DIR/served.json" "$GOLDEN_DIR/avfi_server_demo.json"
+  elif ! diff -u "$GOLDEN_DIR/avfi_server_demo.json" "$SERVER_DIR/served.json"; then
+    echo "smoke FAIL: served demo results drifted from $GOLDEN_DIR/avfi_server_demo.json" >&2
+    echo "  (if the change is intentional, rerun: scripts/smoke.sh --bless)" >&2
+    fail=1
+  fi
+  echo "==> smoke: avfi-client shutdown"
+  if ! target/release/avfi-client shutdown --addr "$ADDR" \
+      >>"$SERVER_DIR/client.stdout"; then
+    echo "smoke FAIL: daemon refused the shutdown request" >&2
+    fail=1
+  fi
+  if ! wait "$SERVER_PID"; then
+    echo "smoke FAIL: avfi-server exited non-zero" >&2
+    cat "$SERVER_DIR/server.stdout" >&2
+    fail=1
   fi
 fi
 

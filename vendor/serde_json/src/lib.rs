@@ -320,13 +320,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 code point (input came from &str, so
-                    // boundaries are valid).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the whole run of plain bytes up to the next
+                    // quote or backslash in one slice. Multi-byte UTF-8
+                    // units are all >= 0x80, so stopping on `"`/`\` never
+                    // splits a code point, and validating just the run
+                    // keeps large strings O(n) (validating the entire
+                    // remaining input per character is quadratic).
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::new("invalid utf-8 in string"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
@@ -473,6 +482,20 @@ mod tests {
         let v = vec![vec![1u8], vec![]];
         let s = to_string_pretty(&v).unwrap();
         assert_eq!(s, "[\n  [\n    1\n  ],\n  []\n]");
+    }
+
+    #[test]
+    fn large_strings_parse_in_linear_time() {
+        // Regression: the string parser used to re-validate the entire
+        // remaining input per character (quadratic), which made multi-MB
+        // payloads — e.g. campaign results served over the wire — take
+        // effectively forever. Mixed ASCII / multi-byte / escape content
+        // keeps the run-splitting on `"` and `\` honest.
+        let chunk = "avfi é😀 \\\"quoted\\\" \\n ";
+        let body = chunk.repeat(200_000);
+        let parsed: String = from_str(&format!("\"{body}\"")).unwrap();
+        assert_eq!(parsed.len(), 200_000 * "avfi é😀 \"quoted\" \n ".len());
+        assert!(parsed.starts_with("avfi é😀 \"quoted\" \n "));
     }
 
     #[test]
