@@ -110,7 +110,13 @@ struct PlanRun {
     cancelled: AtomicBool,
     started: AtomicBool,
     finalized: AtomicBool,
+    /// Result/trace payloads dropped by retention eviction (lifecycle
+    /// status stays queryable).
+    evicted: AtomicBool,
     submitted_at: Instant,
+    /// Set once, when the plan reaches a terminal phase — the clock
+    /// retention sweeps measure against.
+    finished_at: parking_lot::Mutex<Option<Instant>>,
     /// Result slots preassigned by flat plan index.
     slots: Vec<parking_lot::Mutex<Option<RunResult>>>,
     /// Collected traces, keyed by flat plan index (sorted at finalize).
@@ -188,6 +194,7 @@ fn finalize(run: &PlanRun, phase: PlanPhase) {
     // racing completion loses quietly and the plan stays Completed.
     st.lifecycle.advance_if_legal(phase);
     drop(st);
+    *run.finished_at.lock() = Some(Instant::now());
     run.state_changed.notify_all();
 }
 
@@ -276,6 +283,36 @@ impl PlanTicket {
     /// by flat plan index.
     pub fn traces(&self) -> Vec<(usize, RunTrace)> {
         self.run.traces.lock().clone()
+    }
+
+    /// Time since the plan reached a terminal phase, `None` while it is
+    /// still queued or running — the age a retention sweep compares
+    /// against its cutoff.
+    pub fn finished_elapsed(&self) -> Option<std::time::Duration> {
+        self.run.finished_at.lock().map(|at| at.elapsed())
+    }
+
+    /// `true` once [`PlanTicket::evict_payloads`] dropped this plan's
+    /// result and trace payloads.
+    pub fn is_evicted(&self) -> bool {
+        self.run.evicted.load(Ordering::Acquire)
+    }
+
+    /// Drops the plan's result and trace payloads to reclaim memory,
+    /// keeping the lifecycle status (phase, run counters, event log)
+    /// queryable. Only terminal plans can be evicted — a plan still
+    /// queued or running is left untouched and `false` is returned.
+    /// Idempotent; returns `true` once eviction has happened.
+    pub fn evict_payloads(&self) -> bool {
+        let mut st = self.run.state.lock().expect("plan state lock");
+        if !st.lifecycle.phase().is_terminal() {
+            return false;
+        }
+        st.results = None;
+        drop(st);
+        self.run.traces.lock().clear();
+        self.run.evicted.store(true, Ordering::Release);
+        true
     }
 
     /// Snapshot of the event log from sequence number `from` on, plus the
@@ -399,7 +436,9 @@ impl MultiplexPool {
             cancelled: AtomicBool::new(false),
             started: AtomicBool::new(false),
             finalized: AtomicBool::new(false),
+            evicted: AtomicBool::new(false),
             submitted_at: Instant::now(),
+            finished_at: parking_lot::Mutex::new(None),
             slots,
             traces: parking_lot::Mutex::new(Vec::new()),
             state: Mutex::new(PlanState {

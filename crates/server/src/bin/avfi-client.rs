@@ -16,15 +16,22 @@
 //! * `run --plan FILE [--trace LEVEL] [--out FILE]` — submit, wait for
 //!   completion, fetch results (the submit/watch/results round trip as
 //!   one command).
+//!
+//! `submit`, `watch`, and `results` accept `--retry N --backoff MS`:
+//! when the daemon connection drops mid-exchange the client re-dials up
+//! to N times with linear backoff (attempt k waits k×MS). A resumed
+//! watch continues from the last event it actually printed, so no lines
+//! repeat. Default is no retries.
 //! * `solo --plan FILE [--out FILE]` — execute the plan in-process with a
 //!   solo single-worker engine and emit byte-comparable results JSON (no
 //!   server involved; the determinism-gate reference).
 
 use avfi_core::WorkPlan;
 use avfi_net::NetError;
-use avfi_server::{demo_plan, solo_results_json, ServiceClient};
+use avfi_server::{demo_plan, solo_results_json, with_retries, RetryPolicy, ServiceClient};
 use avfi_trace::TraceLevel;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     addr: String,
@@ -33,6 +40,7 @@ struct Args {
     out: Option<String>,
     trace: TraceLevel,
     from: usize,
+    retry: RetryPolicy,
 }
 
 fn main() -> ExitCode {
@@ -47,6 +55,7 @@ fn main() -> ExitCode {
         out: None,
         trace: TraceLevel::Off,
         from: 0,
+        retry: RetryPolicy::none(),
     };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -71,6 +80,14 @@ fn main() -> ExitCode {
             },
             "--from" => match argv.next().and_then(|n| n.parse().ok()) {
                 Some(n) => args.from = n,
+                None => return usage(),
+            },
+            "--retry" => match argv.next().and_then(|n| n.parse().ok()) {
+                Some(n) => args.retry.attempts = n,
+                None => return usage(),
+            },
+            "--backoff" => match argv.next().and_then(|ms| ms.parse().ok()) {
+                Some(ms) => args.retry.backoff = Duration::from_millis(ms),
                 None => return usage(),
             },
             _ => return usage(),
@@ -102,36 +119,41 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, NetError> {
         }
         "submit" => {
             let plan = load_plan(args)?;
-            let mut client = ServiceClient::connect(&args.addr)?;
-            let (id, total) = client.submit(&plan, args.trace)?;
+            let (id, total) =
+                with_retries(&args.addr, args.retry, |client| client.submit(&plan, args.trace))?;
             eprintln!("[avfi-client] plan {id} submitted ({total} runs)");
             println!("{id}");
             Ok(ExitCode::SUCCESS)
         }
         "watch" => {
             let id = plan_id(args)?;
-            let mut client = ServiceClient::connect(&args.addr)?;
-            let phase = client.watch(id, args.from, |seq, event| {
-                match serde_json::to_string(&event) {
-                    Ok(line) => {
-                        use std::io::Write;
-                        // A closed stdout (e.g. `watch | head`) ends the
-                        // stream quietly, like any line-oriented tool.
-                        if writeln!(std::io::stdout(), "{{\"seq\":{seq},\"event\":{line}}}")
-                            .is_err()
-                        {
-                            std::process::exit(0);
+            // Survives reconnects: each retry resumes the stream at the
+            // first sequence number not yet printed.
+            let mut next_from = args.from;
+            let phase = with_retries(&args.addr, args.retry, |client| {
+                client.watch(id, next_from, |seq, event| {
+                    next_from = seq + 1;
+                    match serde_json::to_string(&event) {
+                        Ok(line) => {
+                            use std::io::Write;
+                            // A closed stdout (e.g. `watch | head`) ends the
+                            // stream quietly, like any line-oriented tool.
+                            if writeln!(std::io::stdout(), "{{\"seq\":{seq},\"event\":{line}}}")
+                                .is_err()
+                            {
+                                std::process::exit(0);
+                            }
                         }
+                        Err(e) => eprintln!("[avfi-client] unprintable event {seq}: {e}"),
                     }
-                    Err(e) => eprintln!("[avfi-client] unprintable event {seq}: {e}"),
-                }
+                })
             })?;
             eprintln!("[avfi-client] plan {id} {phase}");
             Ok(ExitCode::SUCCESS)
         }
         "results" => {
             let id = plan_id(args)?;
-            let json = ServiceClient::connect(&args.addr)?.results_json(id)?;
+            let json = with_retries(&args.addr, args.retry, |client| client.results_json(id))?;
             emit(args.out.as_deref(), &json)?;
             Ok(ExitCode::SUCCESS)
         }
@@ -201,9 +223,9 @@ fn usage() -> ExitCode {
         "usage: avfi-client <command> [--addr HOST:PORT] [options]\n\
          commands:\n\
          \x20 demo-plan [--out FILE]\n\
-         \x20 submit   --plan FILE [--trace off|summary|blackbox]\n\
-         \x20 watch    --plan ID [--from N]\n\
-         \x20 results  --plan ID [--out FILE]\n\
+         \x20 submit   --plan FILE [--trace off|summary|blackbox] [--retry N --backoff MS]\n\
+         \x20 watch    --plan ID [--from N] [--retry N --backoff MS]\n\
+         \x20 results  --plan ID [--out FILE] [--retry N --backoff MS]\n\
          \x20 traces   --plan ID [--out FILE]\n\
          \x20 cancel   --plan ID\n\
          \x20 status   --plan ID\n\

@@ -5,13 +5,17 @@
 //! pool, and serves progress streams, results, and traces by plan id.
 //! Runs until a client sends a shutdown request.
 //!
-//! Usage: `avfi-server [--addr HOST:PORT] [--workers N] [--addr-file PATH]`
+//! Usage: `avfi-server [--addr HOST:PORT] [--workers N] [--addr-file PATH]
+//! [--retain-secs S]`
 //!
 //! * `--addr` — listen address (default `127.0.0.1:7700`; port 0 picks an
 //!   ephemeral port).
 //! * `--workers` — pool worker threads (default 0 = one per core).
 //! * `--addr-file` — write the actually bound address to this file once
 //!   listening (how scripts discover an ephemeral port).
+//! * `--retain-secs` — evict finished plans' result/trace payloads after
+//!   this many seconds (default: retain until shutdown). Plan status
+//!   stays queryable after eviction.
 
 use avfi_server::CampaignServer;
 use std::process::ExitCode;
@@ -20,6 +24,7 @@ fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7700".to_string();
     let mut workers = 0usize;
     let mut addr_file: Option<String> = None;
+    let mut retain_secs: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -35,12 +40,16 @@ fn main() -> ExitCode {
                 Some(p) => addr_file = Some(p),
                 None => return usage(),
             },
+            "--retain-secs" => match args.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(s) if s >= 0.0 => retain_secs = Some(s),
+                _ => return usage(),
+            },
             _ => return usage(),
         }
     }
 
     let server = match CampaignServer::bind(&addr, workers) {
-        Ok(s) => s,
+        Ok(s) => s.with_retention(retain_secs.map(std::time::Duration::from_secs_f64)),
         Err(e) => {
             eprintln!("[avfi-server] cannot bind {addr}: {e}");
             return ExitCode::FAILURE;
@@ -67,6 +76,8 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: avfi-server [--addr HOST:PORT] [--workers N] [--addr-file PATH]");
+    eprintln!(
+        "usage: avfi-server [--addr HOST:PORT] [--workers N] [--addr-file PATH] [--retain-secs S]"
+    );
     ExitCode::from(2)
 }

@@ -47,6 +47,7 @@ use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Plans the server has accepted, kept until daemon shutdown so results
 /// outlive the submitting connection.
@@ -61,6 +62,7 @@ pub struct CampaignServer {
     pool: Arc<MultiplexPool>,
     registry: Arc<Registry>,
     shutdown: Arc<AtomicBool>,
+    retention: Option<Duration>,
 }
 
 impl CampaignServer {
@@ -79,7 +81,19 @@ impl CampaignServer {
             pool: Arc::new(MultiplexPool::new(workers)),
             registry: Arc::new(parking_lot::Mutex::new(BTreeMap::new())),
             shutdown: Arc::new(AtomicBool::new(false)),
+            retention: None,
         })
+    }
+
+    /// Limits how long finished plans keep their result and trace
+    /// payloads: any plan terminal for longer than `retention` has its
+    /// payloads evicted on the next request the daemon serves. Lifecycle
+    /// status (phase, run counters) stays queryable after eviction;
+    /// result/trace fetches return a protocol error naming the eviction.
+    /// `None` (the default) retains payloads until shutdown.
+    pub fn with_retention(mut self, retention: Option<Duration>) -> Self {
+        self.retention = retention;
+        self
     }
 
     /// The address the daemon actually bound (resolves port 0).
@@ -110,11 +124,14 @@ impl CampaignServer {
             let registry = Arc::clone(&self.registry);
             let shutdown = Arc::clone(&self.shutdown);
             let addr = self.addr;
+            let retention = self.retention;
             // Detached: a handler blocked on an idle client's next request
             // must not delay shutdown; the process owns thread lifetime.
             std::thread::Builder::new()
                 .name("avfi-conn".into())
-                .spawn(move || handle_connection(stream, &pool, &registry, &shutdown, addr))
+                .spawn(move || {
+                    handle_connection(stream, &pool, &registry, &shutdown, addr, retention)
+                })
                 .expect("spawn connection handler");
         }
         for ticket in self.registry.lock().values() {
@@ -133,6 +150,7 @@ fn handle_connection(
     registry: &Registry,
     shutdown: &AtomicBool,
     addr: SocketAddr,
+    retention: Option<Duration>,
 ) {
     let Ok(mut transport) = TcpTransport::new(stream) else {
         return;
@@ -143,6 +161,7 @@ fn handle_connection(
             // Disconnect, torn frame, or junk: this client is done.
             Err(_) => return,
         };
+        sweep_expired(registry, retention);
         let keep_going = serve_request(&mut transport, request, pool, registry, shutdown, addr);
         if keep_going.is_err() {
             // The client vanished mid-reply (e.g. dropped during a watch
@@ -215,6 +234,9 @@ fn serve_request(
             let Some(ticket) = lookup(registry, plan) else {
                 return send_unknown_plan(transport, plan);
             };
+            if ticket.is_evicted() {
+                return send_evicted(transport, plan);
+            }
             match ticket.wait_results() {
                 Some(results) => {
                     let results_json = serde_json::to_string(&results)
@@ -230,6 +252,9 @@ fn serve_request(
             let Some(ticket) = lookup(registry, plan) else {
                 return send_unknown_plan(transport, plan);
             };
+            if ticket.is_evicted() {
+                return send_evicted(transport, plan);
+            }
             ticket.wait_terminal();
             let traces_json = serde_json::to_string(&ticket.traces())
                 .map_err(|e| NetError::Codec(e.to_string()))?;
@@ -264,8 +289,35 @@ fn serve_request(
     }
 }
 
+/// The retention sweep: evicts result/trace payloads of every plan that
+/// has been terminal for longer than `retention`. Runs opportunistically
+/// before each request is served — a daemon receiving no requests hoards
+/// nothing new, so there is no need for a timer thread. Tickets stay in
+/// the registry (status keeps working); only the payloads go.
+fn sweep_expired(registry: &Registry, retention: Option<Duration>) {
+    let Some(retention) = retention else {
+        return;
+    };
+    // Clone the tickets out so payload eviction (which takes per-plan
+    // locks) never runs under the registry lock.
+    let tickets: Vec<PlanTicket> = registry.lock().values().cloned().collect();
+    for ticket in tickets {
+        if !ticket.is_evicted() && ticket.finished_elapsed().is_some_and(|age| age >= retention) {
+            ticket.evict_payloads();
+        }
+    }
+}
+
 fn lookup(registry: &Registry, plan: PlanId) -> Option<PlanTicket> {
     registry.lock().get(&plan).cloned()
+}
+
+fn send_evicted(transport: &mut TcpTransport, plan: PlanId) -> Result<(), NetError> {
+    transport.send_value(&ServiceReply::Error {
+        message: format!(
+            "plan {plan} results evicted: retention window elapsed (status remains available)"
+        ),
+    })
 }
 
 fn send_unknown_plan(transport: &mut TcpTransport, plan: PlanId) -> Result<(), NetError> {
@@ -456,6 +508,69 @@ impl ServiceClient {
         match self.request(&ServiceRequest::Shutdown)? {
             ServiceReply::ShuttingDown => Ok(()),
             other => Err(Self::fail(other)),
+        }
+    }
+}
+
+/// Reconnect policy for [`with_retries`]: how many times to re-dial a
+/// daemon whose connection dropped, and how long to back off between
+/// dials (linear: attempt `k` of `attempts` waits `k × backoff`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Reconnect attempts after the initial try. 0 = fail fast.
+    pub attempts: u32,
+    /// Base backoff; attempt `k` sleeps `k × backoff` before dialing.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: the initial attempt's error is final.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Up to `attempts` reconnects with linear `backoff` between dials.
+    pub fn new(attempts: u32, backoff: Duration) -> Self {
+        RetryPolicy { attempts, backoff }
+    }
+}
+
+/// Runs `op` against a fresh [`ServiceClient`] connection, reconnecting
+/// with linear backoff when the daemon hangs up mid-exchange
+/// ([`NetError::Disconnected`]). Every other error — protocol rejections,
+/// codec failures, non-hangup I/O — is final immediately: retrying those
+/// would loop on a deterministic failure.
+///
+/// `op` takes the connected client by `&mut` and may be called once per
+/// attempt, so it must be written to be re-runnable: idempotent requests
+/// (watch-from-sequence, results, status) retry transparently, while a
+/// retried `submit` re-submits and can duplicate a plan whose first
+/// submission landed just before the hangup — callers resuming a watch
+/// should track the last seen sequence number in captured state (see the
+/// `avfi-client` CLI) so the replay starts where the dead connection
+/// stopped.
+///
+/// # Errors
+///
+/// The last attempt's error once the policy is exhausted, or the first
+/// non-disconnect error.
+pub fn with_retries<T>(
+    addr: &str,
+    policy: RetryPolicy,
+    mut op: impl FnMut(&mut ServiceClient) -> Result<T, NetError>,
+) -> Result<T, NetError> {
+    let mut attempt = 0u32;
+    loop {
+        let result = ServiceClient::connect(addr).and_then(|mut client| op(&mut client));
+        match result {
+            Err(NetError::Disconnected) if attempt < policy.attempts => {
+                attempt += 1;
+                std::thread::sleep(policy.backoff * attempt);
+            }
+            other => return other,
         }
     }
 }

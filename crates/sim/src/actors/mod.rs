@@ -2,11 +2,13 @@
 
 mod pedestrian;
 mod spawner;
+mod traffic;
 mod vehicle;
 
-pub use pedestrian::{Pedestrian, PedestrianPhase};
+pub use pedestrian::{Pedestrian, PedestrianPhase, PEDESTRIAN_RADIUS};
 pub use spawner::{spawn_npc_vehicles, spawn_pedestrians};
-pub use vehicle::NpcVehicle;
+pub use traffic::Traffic;
+pub use vehicle::{NpcVehicle, SCAN_AHEAD};
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

@@ -124,9 +124,29 @@ impl Pedestrian {
 
     /// Advances the pedestrian by `dt` seconds.
     pub fn step(&mut self, rng: &mut StdRng, dt: f64) {
+        self.step_multi(rng, dt, 1);
+    }
+
+    /// Event-driven decision step covering `ticks` frames of `dt` seconds:
+    /// the pedestrian moves one `dt` (the dormant `ticks - 1` frames must
+    /// already have been folded in with [`Pedestrian::coast`]) and draws
+    /// the road-crossing decision **once**, with the crossing probability
+    /// scaled by `ticks` to aggregate the per-frame draws the dormancy
+    /// skipped.
+    ///
+    /// With `ticks == 1` this is exactly the legacy per-frame
+    /// [`Pedestrian::step`]: one movement integration, one RNG draw against
+    /// the unscaled `cross_rate * dt` — bit-identical draws, which is what
+    /// keeps compat-mode goldens stable.
+    pub fn step_multi(&mut self, rng: &mut StdRng, dt: f64, ticks: u64) {
         if self.hit {
             return;
         }
+        let cross_p = if ticks <= 1 {
+            self.cross_rate * dt
+        } else {
+            (self.cross_rate * dt * ticks as f64).min(1.0)
+        };
         match self.phase {
             PedestrianPhase::Sidewalk { t, forward } => {
                 let len = self.home.length().max(1e-6);
@@ -147,7 +167,7 @@ impl Pedestrian {
                 }
                 self.position = self.home.point_at(t);
                 // Maybe start crossing.
-                if rng.random_range(0.0..1.0) < self.cross_rate * dt {
+                if rng.random_range(0.0..1.0) < cross_p {
                     let from = self.position;
                     let to = from + self.cross_dir * self.cross_dist;
                     self.phase = PedestrianPhase::Crossing {
@@ -197,6 +217,86 @@ impl Pedestrian {
                 }
             }
         }
+    }
+
+    /// Folds a dormant walk of `seconds` into the stored state without any
+    /// RNG draw or phase change: pure kinematic progress along the current
+    /// sidewalk run or crossing leg, clamped at the phase boundary. The
+    /// event scheduler caps sleep with [`Pedestrian::ticks_until_turn`] so
+    /// the clamp is defensive only. No-op for hit pedestrians and for
+    /// `seconds == 0.0` (compat mode).
+    pub fn coast(&mut self, seconds: f64) {
+        if self.hit || seconds == 0.0 {
+            return;
+        }
+        match self.phase {
+            PedestrianPhase::Sidewalk { t, forward } => {
+                let len = self.home.length().max(1e-6);
+                let delta = self.walk_speed * seconds / len;
+                let t = if forward { t + delta } else { t - delta }.clamp(0.0, 1.0);
+                self.position = self.home.point_at(t);
+                self.phase = PedestrianPhase::Sidewalk { t, forward };
+            }
+            PedestrianPhase::Crossing {
+                t,
+                from,
+                to,
+                returning,
+            } => {
+                let len = from.distance(to).max(1e-6);
+                let t = (t + self.walk_speed * seconds / len).clamp(0.0, 1.0);
+                self.position = from.lerp(to, t);
+                self.phase = PedestrianPhase::Crossing {
+                    t,
+                    from,
+                    to,
+                    returning,
+                };
+            }
+        }
+    }
+
+    /// World position after a dormant walk of `seconds`, without mutating
+    /// the pedestrian (the query-time counterpart of
+    /// [`Pedestrian::coast`]). With `seconds == 0.0` this is exactly
+    /// [`Pedestrian::position`].
+    pub fn position_at(&self, seconds: f64) -> Vec2 {
+        if self.hit || seconds == 0.0 {
+            return self.position;
+        }
+        match self.phase {
+            PedestrianPhase::Sidewalk { t, forward } => {
+                let len = self.home.length().max(1e-6);
+                let delta = self.walk_speed * seconds / len;
+                let t = if forward { t + delta } else { t - delta }.clamp(0.0, 1.0);
+                self.home.point_at(t)
+            }
+            PedestrianPhase::Crossing { t, from, to, .. } => {
+                let len = from.distance(to).max(1e-6);
+                from.lerp(to, (t + self.walk_speed * seconds / len).clamp(0.0, 1.0))
+            }
+        }
+    }
+
+    /// How many ticks of `dt` this pedestrian can walk before reaching the
+    /// current phase boundary (sidewalk end or crossing end), rounded
+    /// down. The event scheduler caps sleep with this so direction flips
+    /// and crossing arrivals are always handled by an awake decision step.
+    pub fn ticks_until_turn(&self, dt: f64) -> u64 {
+        let per_tick = self.walk_speed * dt;
+        if per_tick <= 0.0 {
+            return 1;
+        }
+        let room = match self.phase {
+            PedestrianPhase::Sidewalk { t, forward } => {
+                let len = self.home.length().max(1e-6);
+                (if forward { 1.0 - t } else { t }) * len
+            }
+            PedestrianPhase::Crossing { t, from, to, .. } => {
+                (1.0 - t) * from.distance(to).max(1e-6)
+            }
+        };
+        ((room / per_tick).floor().max(0.0)) as u64
     }
 }
 

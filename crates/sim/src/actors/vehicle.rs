@@ -33,7 +33,10 @@ const IDM_MIN_GAP: f64 = 2.5;
 const IDM_ACCEL: f64 = 2.0;
 const IDM_DECEL: f64 = 3.0;
 /// How far ahead an NPC scans for leaders and lights, meters.
-const SCAN_AHEAD: f64 = 45.0;
+///
+/// Also the interaction radius the world's spatial index must cover when
+/// collecting lead-vehicle candidates for [`NpcVehicle::perceive`].
+pub const SCAN_AHEAD: f64 = 45.0;
 
 impl NpcVehicle {
     /// Creates an NPC at arc length `s` on `lane`, at rest.
@@ -102,6 +105,82 @@ impl NpcVehicle {
     /// Vehicle parameters.
     pub fn params(&self) -> &VehicleParams {
         &self.params
+    }
+
+    /// Arc length after coasting dormant for `seconds` at the current
+    /// speed, without mutating the vehicle. With `seconds == 0.0` this is
+    /// exactly [`NpcVehicle::s`] (bit-identical, no arithmetic applied) —
+    /// the compat-mode guarantee.
+    ///
+    /// Dormant integration is valid only while the vehicle stays on its
+    /// current lane; the event scheduler caps sleep so a dormant vehicle
+    /// never reaches the lane end (see `cruise_headroom_ticks`).
+    #[inline]
+    pub fn s_after(&self, seconds: f64) -> f64 {
+        if seconds == 0.0 || self.knocked {
+            self.s
+        } else {
+            self.s + self.speed * seconds
+        }
+    }
+
+    /// World pose after coasting dormant for `seconds` (see
+    /// [`NpcVehicle::s_after`]).
+    pub fn pose_at(&self, map: &Map, seconds: f64) -> Pose {
+        let lane = map.lane(self.lane);
+        let s = self.s_after(seconds);
+        Pose::new(lane.point_at(s), lane.heading_at(s))
+    }
+
+    /// Collision footprint after coasting dormant for `seconds`.
+    pub fn shape_at(&self, map: &Map, seconds: f64) -> CollisionShape {
+        CollisionShape::Box(Obb::new(
+            self.pose_at(map, seconds),
+            self.params.length,
+            self.params.width,
+        ))
+    }
+
+    /// Folds a dormant coast of `seconds` into the stored state: the
+    /// analytic integration an event-driven wake applies before the
+    /// vehicle's decision step runs. No-op for knocked vehicles and for
+    /// `seconds == 0.0` (compat mode).
+    pub fn coast(&mut self, seconds: f64) {
+        self.s = self.s_after(seconds);
+    }
+
+    /// How many ticks of `dt` this vehicle can safely sleep between
+    /// decisions, assuming [`NpcVehicle::perceive`] just returned no
+    /// leader. Returns 1 (decide again next tick) unless the vehicle is
+    /// cruising at its lane's speed limit with ample headroom.
+    ///
+    /// The bound keeps two invariants: the vehicle wakes before the lane
+    /// end enters its scan horizon (so lights, dead ends and lane hops are
+    /// always handled by an awake decision, and the lane-choice RNG draw
+    /// happens at a decision step), and it never closes more of the scan
+    /// horizon than it could brake away — a stopped leader just beyond
+    /// [`SCAN_AHEAD`] at sleep time must still be avoidable at wake time.
+    pub fn cruise_headroom_ticks(&self, map: &Map, dt: f64) -> u64 {
+        if self.knocked {
+            return 1;
+        }
+        let lane = map.lane(self.lane);
+        let v = self.speed;
+        if v < 0.95 * lane.speed_limit() || v <= 0.0 {
+            // Still accelerating (or stopped): IDM changes speed every
+            // tick, so decide every tick.
+            return 1;
+        }
+        let per_tick = v * dt;
+        let to_scan_edge = lane.length() - self.s - SCAN_AHEAD;
+        let brake_dist = v * v / (2.0 * IDM_DECEL);
+        let closing_budget = SCAN_AHEAD - brake_dist - IDM_MIN_GAP - self.params.length;
+        let ticks = (to_scan_edge.min(closing_budget) / per_tick).floor();
+        if ticks < 2.0 {
+            1
+        } else {
+            ticks as u64
+        }
     }
 
     /// Advances the NPC by `dt` seconds.

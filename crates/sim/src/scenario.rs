@@ -16,7 +16,12 @@ use serde::{Deserialize, Serialize};
 pub type TownSpec = TownConfig;
 
 /// A complete, reproducible scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written (instead of derived) so the
+/// [`Scenario::decision_horizon`] knob serializes only when non-default:
+/// existing scenario JSON goldens predate the field and must stay
+/// byte-identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Town layout.
     pub town: TownSpec,
@@ -29,6 +34,15 @@ pub struct Scenario {
     pub pedestrians: usize,
     /// Pedestrian road-crossing rate (events per second per pedestrian).
     pub pedestrian_cross_rate: f64,
+    /// Maximum ticks a traffic agent may sleep between decision steps.
+    ///
+    /// 1 (the default) is compat mode: every agent decides every tick,
+    /// reproducing the legacy per-frame loop bit-for-bit. Larger values
+    /// enable event-driven scheduling — cruising vehicles and walking
+    /// pedestrians go dormant and integrate analytically — which is what
+    /// makes high-density towns affordable. Serialized only when
+    /// non-default so existing scenario JSON goldens are byte-identical.
+    pub decision_horizon: u32,
     /// Weather preset.
     pub weather: Weather,
     /// Mission time budget, seconds; exceeding it fails the mission.
@@ -45,6 +59,70 @@ pub struct Scenario {
     pub imu: ImuConfig,
 }
 
+impl Serialize for Scenario {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("town".to_string(), self.town.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("npc_vehicles".to_string(), self.npc_vehicles.to_value()),
+            ("pedestrians".to_string(), self.pedestrians.to_value()),
+            (
+                "pedestrian_cross_rate".to_string(),
+                self.pedestrian_cross_rate.to_value(),
+            ),
+        ];
+        // Optional field: omitted at the default so pre-existing scenario
+        // goldens keep their exact bytes.
+        if self.decision_horizon != 1 {
+            entries.push((
+                "decision_horizon".to_string(),
+                self.decision_horizon.to_value(),
+            ));
+        }
+        entries.extend([
+            ("weather".to_string(), self.weather.to_value()),
+            ("time_budget".to_string(), self.time_budget.to_value()),
+            (
+                "min_route_length".to_string(),
+                self.min_route_length.to_value(),
+            ),
+            ("camera".to_string(), self.camera.to_value()),
+            ("lidar".to_string(), self.lidar.to_value()),
+            ("gps".to_string(), self.gps.to_value()),
+            ("imu".to_string(), self.imu.to_value()),
+        ]);
+        serde::Value::Object(entries)
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("object", v))?;
+        let field = |name: &str| serde::get_field(entries, name);
+        let decision_horizon = match field("decision_horizon") {
+            serde::Value::Null => 1,
+            other => Deserialize::from_value(other)?,
+        };
+        Ok(Scenario {
+            town: Deserialize::from_value(field("town"))?,
+            seed: Deserialize::from_value(field("seed"))?,
+            npc_vehicles: Deserialize::from_value(field("npc_vehicles"))?,
+            pedestrians: Deserialize::from_value(field("pedestrians"))?,
+            pedestrian_cross_rate: Deserialize::from_value(field("pedestrian_cross_rate"))?,
+            decision_horizon,
+            weather: Deserialize::from_value(field("weather"))?,
+            time_budget: Deserialize::from_value(field("time_budget"))?,
+            min_route_length: Deserialize::from_value(field("min_route_length"))?,
+            camera: Deserialize::from_value(field("camera"))?,
+            lidar: Deserialize::from_value(field("lidar"))?,
+            gps: Deserialize::from_value(field("gps"))?,
+            imu: Deserialize::from_value(field("imu"))?,
+        })
+    }
+}
+
 impl Scenario {
     /// Starts building a scenario for a town.
     pub fn builder(town: TownSpec) -> ScenarioBuilder {
@@ -55,6 +133,7 @@ impl Scenario {
                 npc_vehicles: 6,
                 pedestrians: 6,
                 pedestrian_cross_rate: 0.01,
+                decision_horizon: 1,
                 weather: Weather::ClearNoon,
                 time_budget: 120.0,
                 min_route_length: 150.0,
@@ -143,6 +222,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the maximum ticks a traffic agent may sleep between decisions
+    /// (clamped to at least 1; 1 = legacy per-tick stepping, larger values
+    /// enable event-driven scheduling for dense towns).
+    pub fn decision_horizon(mut self, ticks: u32) -> Self {
+        self.scenario.decision_horizon = ticks.max(1);
+        self
+    }
+
     /// Sets the weather.
     pub fn weather(mut self, weather: Weather) -> Self {
         self.scenario.weather = weather;
@@ -210,6 +297,20 @@ mod tests {
         assert_eq!(s.npc_vehicles, 2);
         assert_eq!(s.weather, Weather::Rain);
         assert_eq!(s.time_budget, 60.0);
+    }
+
+    #[test]
+    fn default_horizon_is_invisible_in_json() {
+        // Goldens embed serialized scenarios; the density knob must not
+        // change their bytes unless explicitly set.
+        let s = Scenario::builder(TownSpec::grid(3, 3)).seed(1).build();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(!json.contains("decision_horizon"), "{json}");
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.decision_horizon, 1);
+        let dense = s.to_builder().decision_horizon(8).build();
+        let json = serde_json::to_string(&dense).unwrap();
+        assert!(json.contains("\"decision_horizon\":8"), "{json}");
     }
 
     #[test]

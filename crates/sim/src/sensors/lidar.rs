@@ -1,4 +1,13 @@
 //! 2-D LIDAR: a planar range scanner.
+//!
+//! The scanner itself is geometry-only: it min-folds ray/shape
+//! intersections over whatever obstacle shapes the caller supplies. The
+//! world culls that shape list through the uniform-grid
+//! [spatial index](crate::spatial::SpatialIndex) before every scan —
+//! actors whose nearest point lies beyond `max_range` can only produce
+//! hit distances greater than the fold's `max_range` initializer, so
+//! dropping them leaves the scan bit-identical while the cast cost stays
+//! O(nearby) in dense towns.
 
 use crate::math::{Pose, Ray};
 use crate::physics::CollisionShape;

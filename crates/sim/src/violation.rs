@@ -184,6 +184,13 @@ impl ViolationMonitor {
 
     /// Records a collision detected by the world's collision pass (subject
     /// to the cooldown so one crash produces one event).
+    ///
+    /// The collision pass that feeds this is index-backed: the world asks
+    /// the uniform-grid [spatial index](crate::spatial::SpatialIndex) for
+    /// actors near the ego (radius inflated by actor extent plus dormant
+    /// drift) and applies the exact OBB/circle contact test only to those
+    /// candidates, so the monitor sees the same hits as a full scan at a
+    /// fraction of the per-frame cost.
     pub fn record_collision(&mut self, kind: ViolationKind, ego: &EgoSnapshot) {
         debug_assert!(kind.is_accident());
         if ego.time - self.last_collision_time >= COLLISION_COOLDOWN

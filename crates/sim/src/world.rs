@@ -5,7 +5,7 @@
 //! the world by one frame (1/15 s); [`World::observe`] renders the sensor
 //! payload the server would ship to the driving-agent client.
 
-use crate::actors::{spawn_npc_vehicles, spawn_pedestrians, NpcVehicle, Pedestrian};
+use crate::actors::{spawn_npc_vehicles, spawn_pedestrians, NpcVehicle, Pedestrian, Traffic};
 use crate::map::route::{Command, Route, RouteTracker};
 use crate::map::town::TownGenerator;
 use crate::map::{LightState, Map, SignalGroup};
@@ -102,8 +102,8 @@ pub struct World {
     imu: Imu,
     ego_model: BicycleModel,
     ego: VehicleState,
-    npcs: Vec<NpcVehicle>,
-    pedestrians: Vec<Pedestrian>,
+    /// Event-driven NPC/pedestrian subsystem (scheduler + spatial index).
+    traffic: Traffic,
     tracker: RouteTracker,
     monitor: ViolationMonitor,
     recorder: Recorder,
@@ -113,8 +113,6 @@ pub struct World {
     odometer: f64,
     /// Consecutive seconds with near-zero speed (stuck detector).
     low_speed_time: f64,
-    npc_rng: StdRng,
-    ped_rng: StdRng,
     gps_rng: StdRng,
     imu_rng: StdRng,
     /// Reused per-frame billboard list (steady-state `observe` is
@@ -168,6 +166,14 @@ impl World {
             scenario.pedestrian_cross_rate,
             &mut ped_rng,
         );
+        let traffic = Traffic::new(
+            &map,
+            npcs,
+            pedestrians,
+            npc_rng,
+            ped_rng,
+            scenario.decision_horizon,
+        );
         World {
             camera: Camera::new(scenario.camera),
             lidar: Lidar::new(scenario.lidar),
@@ -175,8 +181,7 @@ impl World {
             imu: Imu::new(scenario.imu),
             ego_model: BicycleModel::new(VehicleParams::default()),
             ego: VehicleState::at_rest(start),
-            npcs,
-            pedestrians,
+            traffic,
             tracker: RouteTracker::new(route),
             monitor: ViolationMonitor::new(),
             recorder: Recorder::new(false),
@@ -185,8 +190,6 @@ impl World {
             frame: 0,
             odometer: 0.0,
             low_speed_time: 0.0,
-            npc_rng,
-            ped_rng,
             gps_rng: stream_rng(scenario.seed, STREAM_GPS),
             imu_rng: stream_rng(scenario.seed, STREAM_IMU),
             scenario: scenario.clone(),
@@ -279,14 +282,17 @@ impl World {
         self.mission
     }
 
-    /// NPC vehicles.
+    /// NPC vehicles, in spawn order. In event mode (decision horizon > 1)
+    /// dormant vehicles' stored arc lengths lag the current frame by up to
+    /// their sleep; [`World::actor_shapes`] materializes exact positions.
     pub fn npcs(&self) -> &[NpcVehicle] {
-        &self.npcs
+        self.traffic.npcs()
     }
 
-    /// Pedestrians.
+    /// Pedestrians, in spawn order (same staleness note as
+    /// [`World::npcs`]).
     pub fn pedestrians(&self) -> &[Pedestrian] {
-        &self.pedestrians
+        self.traffic.pedestrians()
     }
 
     /// Ego collision footprint.
@@ -295,12 +301,10 @@ impl World {
         CollisionShape::Box(Obb::new(self.ego.pose, p.length, p.width))
     }
 
-    /// Collision shapes of all dynamic actors except the ego.
+    /// Collision shapes of all dynamic actors except the ego,
+    /// materialized at the current frame boundary.
     pub fn actor_shapes(&self) -> Vec<CollisionShape> {
-        let mut shapes: Vec<CollisionShape> =
-            self.npcs.iter().map(|n| n.shape(&self.map)).collect();
-        shapes.extend(self.pedestrians.iter().map(|p| p.shape()));
-        shapes
+        self.traffic.all_shapes(&self.map)
     }
 
     /// Advances the world by one frame under the given actuation command.
@@ -328,67 +332,32 @@ impl World {
                 .record_collision(ViolationKind::CollisionStatic, &snapshot);
         }
 
-        // 3. NPC traffic: perceive (against a positional snapshot), then
-        // step.
+        // 3 + 4. Traffic: event-driven NPC/pedestrian updates. Agents
+        // whose decision is due this frame wake (perceive against the
+        // pre-step positional snapshot, then step, like the legacy
+        // two-phase loop); dormant agents coast analytically.
         let ego_half_len = self.ego_model.params().length * 0.5;
-        let mut vehicle_info: Vec<(Vec2, f64, f64)> = self
-            .npcs
-            .iter()
-            .map(|n| {
-                (
-                    n.pose(&self.map).position,
-                    n.speed(),
-                    n.params().length * 0.5,
-                )
-            })
-            .collect();
-        vehicle_info.push((self.ego.pose.position, self.ego.speed, ego_half_len));
-        let leaders: Vec<Option<(f64, f64)>> = self
-            .npcs
-            .iter()
-            .enumerate()
-            .map(|(i, n)| {
-                let others = vehicle_info
-                    .iter()
-                    .enumerate()
-                    .filter(move |(j, _)| *j != i)
-                    .map(|(_, v)| *v);
-                n.perceive(&self.map, others, self.time)
-            })
-            .collect();
-        for (npc, leader) in self.npcs.iter_mut().zip(leaders) {
-            npc.step(&self.map, leader, &mut self.npc_rng, FRAME_DT);
-        }
-        self.npcs.retain(|n| !n.should_despawn());
+        self.traffic.step(
+            &self.map,
+            (self.ego.pose.position, self.ego.speed, ego_half_len),
+            self.time,
+            self.frame,
+        );
 
-        // 4. Pedestrians.
-        for ped in &mut self.pedestrians {
-            ped.step(&mut self.ped_rng, FRAME_DT);
-        }
-        self.pedestrians.retain(|p| !p.should_despawn());
-
-        // 5. Dynamic collisions against the ego.
+        // 5. Dynamic collisions against the ego, via the spatial index
+        // (superset query + exact contact test).
         let ego_shape = self.ego_shape();
         let snapshot = self.snapshot();
-        let mut hit_vehicle = false;
-        for npc in &mut self.npcs {
-            if !npc.is_knocked() && ego_shape.contact(&npc.shape(&self.map)).is_some() {
-                npc.knock();
-                hit_vehicle = true;
-            }
-        }
+        let p = self.ego_model.params();
+        let ego_radius = (p.length * p.length + p.width * p.width).sqrt() * 0.5;
+        let (hit_vehicle, hit_ped) =
+            self.traffic
+                .ego_contacts(&self.map, &ego_shape, self.ego.pose.position, ego_radius);
         if hit_vehicle {
             self.monitor
                 .record_collision(ViolationKind::CollisionVehicle, &snapshot);
             // Crash impulse: the ego loses most of its speed.
             self.ego.speed *= 0.3;
-        }
-        let mut hit_ped = false;
-        for ped in &mut self.pedestrians {
-            if ego_shape.contact(&ped.shape()).is_some() {
-                ped.knock();
-                hit_ped = true;
-            }
         }
         if hit_ped {
             self.monitor
@@ -587,28 +556,11 @@ impl World {
             .any(|b| b.distance_to(obb.pose.position) < 10.0 && obb.intersects_aabb(b))
     }
 
-    fn fill_billboards(&self, billboards: &mut Vec<Billboard>) {
-        for npc in &self.npcs {
-            billboards.push(Billboard {
-                position: npc.pose(&self.map).position,
-                radius: npc.params().width * 0.6,
-                base: 0.0,
-                top: 1.5,
-                color: [0.72, 0.12, 0.12],
-            });
-        }
-        for ped in &self.pedestrians {
-            billboards.push(Billboard {
-                position: ped.position(),
-                radius: 0.3,
-                base: 0.0,
-                top: 1.75,
-                color: [0.15, 0.2, 0.85],
-            });
-        }
+    fn fill_billboards(&mut self, billboards: &mut Vec<Billboard>) {
+        let ego_p = self.ego.pose.position;
+        self.traffic.fill_billboards(&self.map, ego_p, billboards);
         // Traffic-light heads near the ego, shown with the state facing
         // each approach.
-        let ego_p = self.ego.pose.position;
         for isect in self.map.intersections() {
             if !isect.is_signalized() || isect.center().distance(ego_p) > 80.0 {
                 continue;
@@ -642,11 +594,16 @@ impl World {
         }
     }
 
-    fn fill_lidar_shapes(&self, shapes: &mut Vec<CollisionShape>) {
-        shapes.extend(self.npcs.iter().map(|n| n.shape(&self.map)));
-        shapes.extend(self.pedestrians.iter().map(|p| p.shape()));
+    fn fill_lidar_shapes(&mut self, shapes: &mut Vec<CollisionShape>) {
+        // Actor shapes come from the spatial index. Culling to the scan
+        // range is exact: a shape entirely beyond `max_range` can only
+        // produce beam hits that lose the min-fold, so the scan output is
+        // bit-identical to the legacy all-actors list.
         let ego_p = self.ego.pose.position;
-        let max = self.lidar.config().max_range + 10.0;
+        let max_range = self.lidar.config().max_range;
+        self.traffic
+            .push_shapes_within(&self.map, ego_p, max_range, shapes);
+        let max = max_range + 10.0;
         shapes.extend(
             self.map
                 .buildings()

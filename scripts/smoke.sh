@@ -210,6 +210,25 @@ else
   fi
 fi
 
+# Density tier: one high-density campaign (60 NPCs + 60 pedestrians with
+# event-driven scheduling, decision_horizon 8) through the engine on 2
+# workers, golden-diffed. Pins the event-mode trajectory bit-for-bit the
+# same way the quick campaigns pin compat mode.
+DENSITY_BIN=npc_scaling
+echo "==> smoke: $DENSITY_BIN --quick --workers 2 (density tier)"
+AVFI_RESULTS_DIR="$SMOKE_DIR" \
+  "target/release/$DENSITY_BIN" --quick --workers 2 >"$SMOKE_DIR/$DENSITY_BIN.stdout" 2>&1
+if [[ ! -f "$SMOKE_DIR/$DENSITY_BIN.json" ]]; then
+  echo "smoke FAIL: $DENSITY_BIN emitted no $SMOKE_DIR/$DENSITY_BIN.json" >&2
+  fail=1
+elif [[ "$BLESS" == 1 ]]; then
+  cp "$SMOKE_DIR/$DENSITY_BIN.json" "$GOLDEN_DIR/$DENSITY_BIN.json"
+elif ! diff -u "$GOLDEN_DIR/$DENSITY_BIN.json" "$SMOKE_DIR/$DENSITY_BIN.json"; then
+  echo "smoke FAIL: $DENSITY_BIN output drifted from $GOLDEN_DIR/$DENSITY_BIN.json" >&2
+  echo "  (if the change is intentional, rerun: scripts/smoke.sh --bless)" >&2
+  fail=1
+fi
+
 # Camera tier: golden-image corpus, span-vs-reference differential check
 # plus bit-exact diff against the checked-in .avimg artifacts.
 if [[ "$BLESS" == 1 ]]; then
