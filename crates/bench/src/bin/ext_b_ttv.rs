@@ -8,19 +8,63 @@
 //!
 //! Usage: `cargo run --release -p avfi-bench --bin ext_b_ttv [--quick]
 //! [--workers N] [--progress]
-//! [--trace DIR] [--trace-level off|summary|blackbox] [--shrink DIR]`
+//! [--trace DIR] [--trace-level off|summary|blackbox] [--shrink DIR]
+//! [--adaptive BUDGET]`
+//!
+//! With `--adaptive BUDGET`, the uniform injector grid is replaced by
+//! the Thompson-sampling planner over the same mid-mission onset: the
+//! fixed run budget is spent where failures concentrate instead of
+//! uniformly, and the trajectory is exported as `ext_b_adaptive.json`.
 
 use avfi_bench::experiments::{
-    export_json, neural_agent, run_study, shrink_after_study, ExecOptions, Scale,
+    adaptive_space, export_json, export_trajectory, neural_agent, render_adaptive,
+    run_adaptive_study, run_study, shrink_after_study, ExecOptions, Scale,
 };
+use avfi_core::adaptive::AdaptiveConfig;
 use avfi_core::fault::input::{ImageFault, InputFault};
 use avfi_core::fault::FaultSpec;
 use avfi_core::{metrics, report, stats};
+
+/// Parses `--adaptive BUDGET` from argv.
+fn adaptive_budget() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--adaptive" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
+/// Adaptive-mode ext-b: the same fault-space search as the `adaptive`
+/// bin but pinned to the mid-mission onset (t₀ = 10 s, frame 150) this
+/// extension studies.
+fn run_adaptive_mode(scale: Scale, opts: &ExecOptions, budget: usize) {
+    let mut space = adaptive_space(scale);
+    space.onsets = vec![150];
+    let config = AdaptiveConfig {
+        budget,
+        batch: 8,
+        seed: 2018,
+    };
+    eprintln!(
+        "[ext-b] adaptive mode: {} arms, budget {budget}",
+        space.arms().len()
+    );
+    let outcome = run_adaptive_study(&space, config, opts);
+    println!("Extension B (adaptive) — Bayesian fault-space search at t0 = 10 s\n");
+    println!("{}", render_adaptive(&outcome.trajectory));
+    export_trajectory("ext_b_adaptive", &outcome.trajectory);
+}
 
 fn main() {
     let scale = Scale::from_args();
     let opts = ExecOptions::from_args();
     eprintln!("[ext-b] scale = {scale:?}, exec = {opts:?}");
+    if let Some(budget) = adaptive_budget() {
+        run_adaptive_mode(scale, &opts, budget);
+        return;
+    }
     // Inject 10 s into the mission (frame 150 at 15 FPS).
     let injection_frame = 150;
     let specs: Vec<FaultSpec> = ImageFault::paper_suite()

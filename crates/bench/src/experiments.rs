@@ -10,6 +10,9 @@
 //! any `--workers` count.
 
 use avfi_agent::train::train_default_agent;
+use avfi_core::adaptive::{
+    run_adaptive, AdaptiveConfig, AdaptiveOutcome, AdaptiveSpace, AdaptiveTrajectory,
+};
 use avfi_core::campaign::{AgentSpec, Campaign, CampaignConfig, CampaignResult};
 use avfi_core::engine::{Engine, StderrProgress, StudyResult, TraceConfig, WorkPlan};
 use avfi_core::fault::input::{ImageFault, InputFault};
@@ -321,6 +324,106 @@ pub fn shrink_after_study(opts: &ExecOptions) {
         "[avfi-bench] shrink: {minimized} trace(s) minimized, {skipped} skipped → {}",
         out_dir.display()
     );
+}
+
+/// The adaptive search space at `scale`: the evaluation suite crossed
+/// with the paper channel set (the five Figure 2/3 camera models, GPS /
+/// speed / LIDAR data faults, stuck-at hardware faults, output delay),
+/// three log-spaced magnitude bands up to paper severity, and two
+/// injection onsets (mission start and frame 150 — the `ext_b` 10 s
+/// onset). Most of the lattice is benign by construction — the paper's
+/// observation that uniform sweeps waste budget on non-activating
+/// injections is the premise the planner exploits.
+pub fn adaptive_space(scale: Scale) -> AdaptiveSpace {
+    AdaptiveSpace {
+        scenarios: evaluation_suite(scale),
+        channels: AdaptiveSpace::paper_channels(),
+        magnitudes: vec![0.1, 0.3, 1.0],
+        onsets: vec![0, 150],
+    }
+}
+
+/// Default adaptive budget/batch at `scale` (seed matches the campaign
+/// convention; override per flag).
+pub fn adaptive_defaults(scale: Scale) -> AdaptiveConfig {
+    if scale == Scale::quick() {
+        AdaptiveConfig {
+            budget: 32,
+            batch: 8,
+            seed: 2018,
+        }
+    } else {
+        AdaptiveConfig {
+            budget: 240,
+            batch: 12,
+            seed: 2018,
+        }
+    }
+}
+
+/// Runs one adaptive search over `space` with the cached neural agent
+/// through an engine built from `opts` (workers only — the planner
+/// captures its own failure traces, so the engine recorder stays off).
+pub fn run_adaptive_study(
+    space: &AdaptiveSpace,
+    config: AdaptiveConfig,
+    opts: &ExecOptions,
+) -> AdaptiveOutcome {
+    let engine = Engine::new().workers(opts.workers);
+    run_adaptive(&engine, space, config, &neural_agent(), "adaptive")
+}
+
+/// Renders the failures-found table of an adaptive search: every pulled
+/// arm ranked by posterior mean failure probability.
+pub fn render_adaptive(trajectory: &AdaptiveTrajectory) -> String {
+    let mut table = report::Table::new(vec![
+        "Arm", "Scenario", "Channel", "Mag", "Onset", "Pulls", "Fail", "P(fail)", "",
+    ]);
+    for summary in &trajectory.report.top_arms {
+        let arm = &trajectory.arms[summary.arm];
+        table.row(vec![
+            format!("#{}", arm.index),
+            format!("s{}", arm.scenario_index),
+            arm.channel.clone(),
+            format!("{:.2}", arm.magnitude),
+            format!("{}f", arm.onset),
+            summary.pulls.to_string(),
+            summary.failures.to_string(),
+            format!("{:.2}", summary.mean),
+            report::bar(summary.mean * 100.0, 100.0, 20),
+        ]);
+    }
+    let r = &trajectory.report;
+    format!(
+        "Adaptive search — {} failures in {} runs ({:.2} failures/run, budget {})\n\n{}",
+        r.failures,
+        r.spent,
+        r.failures_per_run,
+        r.budget,
+        table.render()
+    )
+}
+
+/// Writes an adaptive trajectory as JSON into `results/<name>.json`
+/// (same `AVFI_RESULTS_DIR` override as [`export_json`]).
+pub fn export_trajectory(name: &str, trajectory: &AdaptiveTrajectory) {
+    let dir = std::env::var_os("AVFI_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"));
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(trajectory) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("[avfi-bench] could not write {}: {e}", path.display());
+            } else {
+                eprintln!("[avfi-bench] wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("[avfi-bench] serialization failed: {e}"),
+    }
 }
 
 /// The evaluation scenario suite: unsignalized grid towns with light

@@ -35,7 +35,10 @@
 //! verifies bit-identity, [`triage`] walks failed-run traces to
 //! attribute each first violation to the injection that preceded it, and
 //! [`shrink`] delta-debugs any failed trace into a minimal,
-//! replay-verified repro.
+//! replay-verified repro. [`adaptive`] layers a deterministic
+//! Thompson-sampling planner above [`engine`]: instead of sweeping the
+//! fault grid uniformly it spends a fixed run budget where failures
+//! concentrate, proposing batches through `Engine::evaluate_jobs`.
 //!
 //! ## Quick example
 //!
@@ -59,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod campaign;
 pub mod compare;
 pub mod engine;
@@ -73,6 +77,10 @@ pub mod stats;
 pub mod triage;
 pub mod trigger;
 
+pub use adaptive::{
+    run_adaptive, AdaptiveConfig, AdaptiveOutcome, AdaptivePlanner, AdaptiveSpace,
+    AdaptiveTrajectory,
+};
 pub use campaign::{Campaign, CampaignConfig, CampaignResult, RunResult, TraceSpec};
 pub use engine::{
     Engine, MultiplexPool, PlanEvent, PlanTicket, ProgressEvent, ProgressSink, StudyResult,

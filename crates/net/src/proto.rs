@@ -38,6 +38,15 @@ pub type PlanId = u64;
 /// One client → server request frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ServiceRequest {
+    /// Shared-secret authentication hello. When the daemon runs with an
+    /// auth token, this must be the first frame on every connection;
+    /// any other first frame — or a wrong token — is answered with
+    /// [`ServiceReply::Error`] and the connection is closed. A daemon
+    /// without a token accepts (and ignores) hellos.
+    Hello {
+        /// The shared secret.
+        token: String,
+    },
     /// Submit a serialized `WorkPlan` for execution.
     SubmitPlan {
         /// JSON-serialized `avfi_core::engine::WorkPlan`.
@@ -83,6 +92,7 @@ impl ServiceRequest {
     /// Short tag for diagnostics.
     pub fn kind(&self) -> &'static str {
         match self {
+            ServiceRequest::Hello { .. } => "hello",
             ServiceRequest::SubmitPlan { .. } => "submit-plan",
             ServiceRequest::Watch { .. } => "watch",
             ServiceRequest::Results { .. } => "results",
@@ -97,6 +107,9 @@ impl ServiceRequest {
 /// One server → client reply frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ServiceReply {
+    /// Acknowledges a [`ServiceRequest::Hello`]: the connection is
+    /// authenticated and regular requests are accepted.
+    HelloOk,
     /// A plan was accepted and queued.
     Submitted {
         /// Server-assigned plan id.
@@ -167,6 +180,7 @@ impl ServiceReply {
     /// Short tag for diagnostics.
     pub fn kind(&self) -> &'static str {
         match self {
+            ServiceReply::HelloOk => "hello-ok",
             ServiceReply::Submitted { .. } => "submitted",
             ServiceReply::Event { .. } => "event",
             ServiceReply::WatchEnd { .. } => "watch-end",
@@ -359,6 +373,9 @@ mod tests {
     #[test]
     fn requests_roundtrip_through_json() {
         let reqs = [
+            ServiceRequest::Hello {
+                token: "secret".into(),
+            },
             ServiceRequest::SubmitPlan {
                 plan_json: "{\"studies\":[]}".into(),
                 trace_level: "blackbox".into(),
@@ -384,6 +401,7 @@ mod tests {
     #[test]
     fn replies_roundtrip_through_json() {
         let replies = [
+            ServiceReply::HelloOk,
             ServiceReply::Submitted {
                 plan: 1,
                 total_runs: 12,

@@ -17,18 +17,25 @@
 //!   completion, fetch results (the submit/watch/results round trip as
 //!   one command).
 //!
-//! `submit`, `watch`, and `results` accept `--retry N --backoff MS`:
-//! when the daemon connection drops mid-exchange the client re-dials up
-//! to N times with linear backoff (attempt k waits k×MS). A resumed
-//! watch continues from the last event it actually printed, so no lines
-//! repeat. Default is no retries.
+//! `submit`, `watch`, `results`, `cancel`, and `status` accept
+//! `--retry N --backoff MS`: when the daemon connection drops
+//! mid-exchange the client re-dials up to N times with linear backoff
+//! (attempt k waits k×MS). A resumed watch continues from the last
+//! event it actually printed, so no lines repeat; cancel and status are
+//! idempotent on the server, so a replay is safe. Default is no
+//! retries.
+//!
+//! Every network subcommand accepts `--token SECRET`: the connection
+//! opens with a hello frame carrying the shared secret, required
+//! against a daemon running `--auth-token` (and acknowledged, harmless,
+//! against an open one). Reconnects repeat the handshake.
 //! * `solo --plan FILE [--out FILE]` — execute the plan in-process with a
 //!   solo single-worker engine and emit byte-comparable results JSON (no
 //!   server involved; the determinism-gate reference).
 
 use avfi_core::WorkPlan;
 use avfi_net::NetError;
-use avfi_server::{demo_plan, solo_results_json, with_retries, RetryPolicy, ServiceClient};
+use avfi_server::{demo_plan, solo_results_json, with_retries_authed, RetryPolicy, ServiceClient};
 use avfi_trace::TraceLevel;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -41,6 +48,22 @@ struct Args {
     trace: TraceLevel,
     from: usize,
     retry: RetryPolicy,
+    token: Option<String>,
+}
+
+impl Args {
+    /// One connection, hello'd when `--token` was given.
+    fn connect(&self) -> Result<ServiceClient, NetError> {
+        ServiceClient::connect_with_token(&self.addr, self.token.as_deref())
+    }
+
+    /// Runs `op` under the retry policy, re-helloing on every dial.
+    fn with_retries<T>(
+        &self,
+        op: impl FnMut(&mut ServiceClient) -> Result<T, NetError>,
+    ) -> Result<T, NetError> {
+        with_retries_authed(&self.addr, self.token.as_deref(), self.retry, op)
+    }
 }
 
 fn main() -> ExitCode {
@@ -56,6 +79,7 @@ fn main() -> ExitCode {
         trace: TraceLevel::Off,
         from: 0,
         retry: RetryPolicy::none(),
+        token: None,
     };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -90,6 +114,10 @@ fn main() -> ExitCode {
                 Some(ms) => args.retry.backoff = Duration::from_millis(ms),
                 None => return usage(),
             },
+            "--token" => match argv.next() {
+                Some(t) => args.token = Some(t),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -119,8 +147,7 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, NetError> {
         }
         "submit" => {
             let plan = load_plan(args)?;
-            let (id, total) =
-                with_retries(&args.addr, args.retry, |client| client.submit(&plan, args.trace))?;
+            let (id, total) = args.with_retries(|client| client.submit(&plan, args.trace))?;
             eprintln!("[avfi-client] plan {id} submitted ({total} runs)");
             println!("{id}");
             Ok(ExitCode::SUCCESS)
@@ -130,7 +157,7 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, NetError> {
             // Survives reconnects: each retry resumes the stream at the
             // first sequence number not yet printed.
             let mut next_from = args.from;
-            let phase = with_retries(&args.addr, args.retry, |client| {
+            let phase = args.with_retries(|client| {
                 client.watch(id, next_from, |seq, event| {
                     next_from = seq + 1;
                     match serde_json::to_string(&event) {
@@ -153,36 +180,38 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, NetError> {
         }
         "results" => {
             let id = plan_id(args)?;
-            let json = with_retries(&args.addr, args.retry, |client| client.results_json(id))?;
+            let json = args.with_retries(|client| client.results_json(id))?;
             emit(args.out.as_deref(), &json)?;
             Ok(ExitCode::SUCCESS)
         }
         "traces" => {
             let id = plan_id(args)?;
-            let json = ServiceClient::connect(&args.addr)?.traces_json(id)?;
+            let json = args.connect()?.traces_json(id)?;
             emit(args.out.as_deref(), &json)?;
             Ok(ExitCode::SUCCESS)
         }
         "cancel" => {
             let id = plan_id(args)?;
-            let phase = ServiceClient::connect(&args.addr)?.cancel(id)?;
+            // Cancelling an already-cancelled plan just reports its
+            // phase, so a retried cancel after a hangup is safe.
+            let phase = args.with_retries(|client| client.cancel(id))?;
             eprintln!("[avfi-client] plan {id} {phase}");
             Ok(ExitCode::SUCCESS)
         }
         "status" => {
             let id = plan_id(args)?;
-            let (phase, completed, total) = ServiceClient::connect(&args.addr)?.status(id)?;
+            let (phase, completed, total) = args.with_retries(|client| client.status(id))?;
             println!("{phase} {completed}/{total}");
             Ok(ExitCode::SUCCESS)
         }
         "shutdown" => {
-            ServiceClient::connect(&args.addr)?.shutdown_server()?;
+            args.connect()?.shutdown_server()?;
             eprintln!("[avfi-client] server shutting down");
             Ok(ExitCode::SUCCESS)
         }
         "run" => {
             let plan = load_plan(args)?;
-            let mut client = ServiceClient::connect(&args.addr)?;
+            let mut client = args.connect()?;
             let (id, total) = client.submit(&plan, args.trace)?;
             eprintln!("[avfi-client] plan {id} submitted ({total} runs)");
             let phase = client.wait_terminal(id)?;
@@ -220,15 +249,15 @@ fn emit(out: Option<&str>, payload: &str) -> Result<(), NetError> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: avfi-client <command> [--addr HOST:PORT] [options]\n\
+        "usage: avfi-client <command> [--addr HOST:PORT] [--token SECRET] [options]\n\
          commands:\n\
          \x20 demo-plan [--out FILE]\n\
          \x20 submit   --plan FILE [--trace off|summary|blackbox] [--retry N --backoff MS]\n\
          \x20 watch    --plan ID [--from N] [--retry N --backoff MS]\n\
          \x20 results  --plan ID [--out FILE] [--retry N --backoff MS]\n\
          \x20 traces   --plan ID [--out FILE]\n\
-         \x20 cancel   --plan ID\n\
-         \x20 status   --plan ID\n\
+         \x20 cancel   --plan ID [--retry N --backoff MS]\n\
+         \x20 status   --plan ID [--retry N --backoff MS]\n\
          \x20 run      --plan FILE [--trace LEVEL] [--out FILE]\n\
          \x20 solo     --plan FILE [--out FILE]\n\
          \x20 shutdown"

@@ -6,7 +6,7 @@
 //! Runs until a client sends a shutdown request.
 //!
 //! Usage: `avfi-server [--addr HOST:PORT] [--workers N] [--addr-file PATH]
-//! [--retain-secs S]`
+//! [--retain-secs S] [--auth-token SECRET]`
 //!
 //! * `--addr` — listen address (default `127.0.0.1:7700`; port 0 picks an
 //!   ephemeral port).
@@ -16,6 +16,10 @@
 //! * `--retain-secs` — evict finished plans' result/trace payloads after
 //!   this many seconds (default: retain until shutdown). Plan status
 //!   stays queryable after eviction.
+//! * `--auth-token` — require every connection to open with a hello
+//!   frame carrying this shared secret (clients pass `--token`); wrong
+//!   or missing tokens get a protocol error and the connection is
+//!   closed. Default: no authentication.
 
 use avfi_server::CampaignServer;
 use std::process::ExitCode;
@@ -25,6 +29,7 @@ fn main() -> ExitCode {
     let mut workers = 0usize;
     let mut addr_file: Option<String> = None;
     let mut retain_secs: Option<f64> = None;
+    let mut auth_token: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -44,12 +49,18 @@ fn main() -> ExitCode {
                 Some(s) if s >= 0.0 => retain_secs = Some(s),
                 _ => return usage(),
             },
+            "--auth-token" => match args.next() {
+                Some(t) if !t.is_empty() => auth_token = Some(t),
+                _ => return usage(),
+            },
             _ => return usage(),
         }
     }
 
     let server = match CampaignServer::bind(&addr, workers) {
-        Ok(s) => s.with_retention(retain_secs.map(std::time::Duration::from_secs_f64)),
+        Ok(s) => s
+            .with_retention(retain_secs.map(std::time::Duration::from_secs_f64))
+            .with_auth_token(auth_token),
         Err(e) => {
             eprintln!("[avfi-server] cannot bind {addr}: {e}");
             return ExitCode::FAILURE;
@@ -77,7 +88,8 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: avfi-server [--addr HOST:PORT] [--workers N] [--addr-file PATH] [--retain-secs S]"
+        "usage: avfi-server [--addr HOST:PORT] [--workers N] [--addr-file PATH] \
+         [--retain-secs S] [--auth-token SECRET]"
     );
     ExitCode::from(2)
 }

@@ -63,6 +63,7 @@ pub struct CampaignServer {
     registry: Arc<Registry>,
     shutdown: Arc<AtomicBool>,
     retention: Option<Duration>,
+    auth_token: Option<String>,
 }
 
 impl CampaignServer {
@@ -82,6 +83,7 @@ impl CampaignServer {
             registry: Arc::new(parking_lot::Mutex::new(BTreeMap::new())),
             shutdown: Arc::new(AtomicBool::new(false)),
             retention: None,
+            auth_token: None,
         })
     }
 
@@ -93,6 +95,17 @@ impl CampaignServer {
     /// `None` (the default) retains payloads until shutdown.
     pub fn with_retention(mut self, retention: Option<Duration>) -> Self {
         self.retention = retention;
+        self
+    }
+
+    /// Requires every connection to open with a
+    /// [`ServiceRequest::Hello`] carrying this shared secret before any
+    /// other request is served. A wrong token — or any non-hello first
+    /// frame — gets a [`ServiceReply::Error`] and the connection is
+    /// closed; nothing about the daemon's state is revealed first.
+    /// `None` (the default) serves every connection unauthenticated.
+    pub fn with_auth_token(mut self, token: Option<String>) -> Self {
+        self.auth_token = token;
         self
     }
 
@@ -125,12 +138,21 @@ impl CampaignServer {
             let shutdown = Arc::clone(&self.shutdown);
             let addr = self.addr;
             let retention = self.retention;
+            let auth = self.auth_token.clone();
             // Detached: a handler blocked on an idle client's next request
             // must not delay shutdown; the process owns thread lifetime.
             std::thread::Builder::new()
                 .name("avfi-conn".into())
                 .spawn(move || {
-                    handle_connection(stream, &pool, &registry, &shutdown, addr, retention)
+                    handle_connection(
+                        stream,
+                        &pool,
+                        &registry,
+                        &shutdown,
+                        addr,
+                        retention,
+                        auth.as_deref(),
+                    )
                 })
                 .expect("spawn connection handler");
         }
@@ -151,10 +173,14 @@ fn handle_connection(
     shutdown: &AtomicBool,
     addr: SocketAddr,
     retention: Option<Duration>,
+    auth_token: Option<&str>,
 ) {
     let Ok(mut transport) = TcpTransport::new(stream) else {
         return;
     };
+    if authenticate(&mut transport, auth_token).is_err() {
+        return;
+    }
     loop {
         let request: ServiceRequest = match transport.recv_value() {
             Ok(r) => r,
@@ -171,6 +197,34 @@ fn handle_connection(
     }
 }
 
+/// Gates a fresh connection on the shared secret. With no token
+/// configured this is a no-op (the serve loop still answers voluntary
+/// hellos); with one, the first frame must be a matching
+/// [`ServiceRequest::Hello`] — anything else is answered with a protocol
+/// error and `Err` tells the caller to drop the connection. The error
+/// message does not distinguish a wrong token from a missing hello, so a
+/// probe learns nothing beyond "authentication failed".
+fn authenticate(transport: &mut TcpTransport, auth_token: Option<&str>) -> Result<(), ()> {
+    let Some(expected) = auth_token else {
+        return Ok(());
+    };
+    let request: ServiceRequest = transport.recv_value().map_err(|_| ())?;
+    match request {
+        ServiceRequest::Hello { token } if token == expected => {
+            transport.send_value(&ServiceReply::HelloOk).map_err(|_| ())
+        }
+        _ => {
+            // Best-effort courtesy reply; the close is the real answer.
+            let _ = transport.send_value(&ServiceReply::Error {
+                message: "authentication failed: this daemon requires a valid \
+                          hello token as the first request"
+                    .into(),
+            });
+            Err(())
+        }
+    }
+}
+
 /// Handles one request, sending every reply frame it produces. `Err`
 /// means the *connection* failed; request-level failures are reported to
 /// the client as [`ServiceReply::Error`] and return `Ok`.
@@ -183,6 +237,10 @@ fn serve_request(
     addr: SocketAddr,
 ) -> Result<(), NetError> {
     match request {
+        // Authenticated connections (and open daemons) answer voluntary
+        // hellos idempotently, so a client configured with a token works
+        // against a daemon running without one.
+        ServiceRequest::Hello { .. } => transport.send_value(&ServiceReply::HelloOk),
         ServiceRequest::SubmitPlan {
             plan_json,
             trace_level,
@@ -302,7 +360,11 @@ fn sweep_expired(registry: &Registry, retention: Option<Duration>) {
     // locks) never runs under the registry lock.
     let tickets: Vec<PlanTicket> = registry.lock().values().cloned().collect();
     for ticket in tickets {
-        if !ticket.is_evicted() && ticket.finished_elapsed().is_some_and(|age| age >= retention) {
+        if !ticket.is_evicted()
+            && ticket
+                .finished_elapsed()
+                .is_some_and(|age| age >= retention)
+        {
             ticket.evict_payloads();
         }
     }
@@ -343,6 +405,37 @@ impl ServiceClient {
         Ok(ServiceClient {
             transport: TcpTransport::connect(addr)?,
         })
+    }
+
+    /// Connects and, when `token` is given, opens with a hello frame —
+    /// required against a daemon running `--auth-token`, harmless (and
+    /// acknowledged) against an open one.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, or [`NetError::Protocol`] when the daemon
+    /// rejects the token.
+    pub fn connect_with_token(addr: &str, token: Option<&str>) -> Result<Self, NetError> {
+        let mut client = Self::connect(addr)?;
+        if let Some(token) = token {
+            client.hello(token)?;
+        }
+        Ok(client)
+    }
+
+    /// Authenticates this connection with the daemon's shared secret.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`NetError::Protocol`] when the daemon
+    /// rejects the token.
+    pub fn hello(&mut self, token: &str) -> Result<(), NetError> {
+        match self.request(&ServiceRequest::Hello {
+            token: token.to_string(),
+        })? {
+            ServiceReply::HelloOk => Ok(()),
+            other => Err(Self::fail(other)),
+        }
     }
 
     fn request(&mut self, request: &ServiceRequest) -> Result<ServiceReply, NetError> {
@@ -560,11 +653,30 @@ impl RetryPolicy {
 pub fn with_retries<T>(
     addr: &str,
     policy: RetryPolicy,
+    op: impl FnMut(&mut ServiceClient) -> Result<T, NetError>,
+) -> Result<T, NetError> {
+    with_retries_authed(addr, None, policy, op)
+}
+
+/// [`with_retries`] against a daemon that may require an auth token:
+/// every reconnect re-runs the hello handshake before `op`, so a dropped
+/// connection retried against an authenticated daemon does not trip the
+/// first-frame gate. A rejected token is a protocol error and therefore
+/// final — retrying a wrong secret would loop on a deterministic failure.
+///
+/// # Errors
+///
+/// Same conditions as [`with_retries`].
+pub fn with_retries_authed<T>(
+    addr: &str,
+    token: Option<&str>,
+    policy: RetryPolicy,
     mut op: impl FnMut(&mut ServiceClient) -> Result<T, NetError>,
 ) -> Result<T, NetError> {
     let mut attempt = 0u32;
     loop {
-        let result = ServiceClient::connect(addr).and_then(|mut client| op(&mut client));
+        let result =
+            ServiceClient::connect_with_token(addr, token).and_then(|mut client| op(&mut client));
         match result {
             Err(NetError::Disconnected) if attempt < policy.attempts => {
                 attempt += 1;

@@ -20,6 +20,8 @@ enum Script {
     Drop,
     /// Answer one status request with a canned `Completed` reply.
     ServeStatus,
+    /// Answer one cancel request with a canned `Cancelled` reply.
+    ServeCancel,
     /// Answer one request with a protocol-level error reply.
     ServeError,
 }
@@ -50,6 +52,18 @@ fn scripted_daemon(script: Vec<Script>) -> (String, Arc<AtomicUsize>) {
                         phase: PlanPhase::Completed,
                         completed: 3,
                         total: 3,
+                    });
+                }
+                Script::ServeCancel => {
+                    let Ok(mut t) = TcpTransport::new(stream) else {
+                        continue;
+                    };
+                    let Ok(ServiceRequest::Cancel { plan }) = t.recv_value() else {
+                        continue;
+                    };
+                    let _ = t.send_value(&ServiceReply::Cancelled {
+                        plan,
+                        phase: PlanPhase::Cancelled,
                     });
                 }
                 Script::ServeError => {
@@ -96,10 +110,35 @@ fn zero_attempts_surface_the_disconnect() {
 fn attempt_budget_is_bounded() {
     let (addr, accepted) = scripted_daemon(vec![Script::Drop; 8]);
     let policy = RetryPolicy::new(2, Duration::from_millis(1));
-    let err = with_retries(&addr, policy, |client| client.status(7))
-        .expect_err("daemon never recovers");
+    let err =
+        with_retries(&addr, policy, |client| client.status(7)).expect_err("daemon never recovers");
     assert!(matches!(err, NetError::Disconnected), "got {err:?}");
     assert_eq!(accepted.load(Ordering::SeqCst), 3, "1 try + 2 retries");
+}
+
+/// A cancel whose first connection is torn down replays on a fresh dial
+/// — safe because cancelling is idempotent on the server — and lands
+/// the canned `Cancelled` phase (the `avfi-client cancel --retry` path).
+#[test]
+fn cancel_retries_after_injected_disconnect() {
+    let (addr, accepted) = scripted_daemon(vec![Script::Drop, Script::Drop, Script::ServeCancel]);
+    let policy = RetryPolicy::new(3, Duration::from_millis(5));
+    let phase = with_retries(&addr, policy, |client| client.cancel(11)).expect("retried cancel");
+    assert_eq!(phase, PlanPhase::Cancelled);
+    assert_eq!(accepted.load(Ordering::SeqCst), 3, "two drops, then served");
+}
+
+/// A status poll dropped mid-exchange replays transparently (the
+/// `avfi-client status --retry` path).
+#[test]
+fn status_retries_after_injected_disconnect() {
+    let (addr, accepted) = scripted_daemon(vec![Script::Drop, Script::ServeStatus]);
+    let policy = RetryPolicy::new(2, Duration::from_millis(5));
+    let (phase, completed, total) =
+        with_retries(&addr, policy, |client| client.status(11)).expect("retried status");
+    assert_eq!(phase, PlanPhase::Completed);
+    assert_eq!((completed, total), (3, 3));
+    assert_eq!(accepted.load(Ordering::SeqCst), 2);
 }
 
 /// Protocol errors are deterministic; retrying them would loop on the

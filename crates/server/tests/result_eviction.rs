@@ -51,7 +51,9 @@ fn spawn_daemon(retention: Option<Duration>) -> (String, std::thread::JoinHandle
 fn fetch_after_evict_is_a_clean_protocol_error() {
     let (addr, daemon) = spawn_daemon(Some(Duration::ZERO));
     let mut c = ServiceClient::connect(&addr).expect("connect");
-    let (id, total) = c.submit(&tiny_plan(7100), TraceLevel::Blackbox).expect("submit");
+    let (id, total) = c
+        .submit(&tiny_plan(7100), TraceLevel::Blackbox)
+        .expect("submit");
     assert_eq!(c.wait_terminal(id).expect("terminal"), PlanPhase::Completed);
 
     // wait_terminal's WatchEnd proves the plan finished; the results

@@ -207,7 +207,8 @@ impl Traffic {
         info: &mut Vec<(Vec2, f64, f64)>,
     ) {
         info.clear();
-        self.index.query_circle(center, SCAN_AHEAD + self.slack(), q);
+        self.index
+            .query_circle(center, SCAN_AHEAD + self.slack(), q);
         for &key in q.iter() {
             if key >= self.ped_base || key == skip {
                 continue;
@@ -281,10 +282,9 @@ impl Traffic {
         // Phase B: step due NPCs in spawn order; lane-choice RNG draws
         // happen here, in the same stream order as the legacy loop.
         let mut npc_despawn = false;
-        for di in 0..self.due_npcs.len() {
+        for (di, &leader) in leaders.iter().enumerate() {
             let key = self.due_npcs[di];
             let slot = self.slot_of[key as usize];
-            let leader = leaders[di];
             self.npcs[slot].step(map, leader, &mut self.npc_rng, FRAME_DT);
             self.npc_anchor[slot] = frame + 1;
             if self.npcs[slot].should_despawn() {
@@ -315,8 +315,7 @@ impl Traffic {
             if dormant > 0 {
                 self.peds[slot].coast(dormant as f64 * FRAME_DT);
             }
-            self.peds[slot]
-                .step_multi(&mut self.ped_rng, FRAME_DT, dormant + 1);
+            self.peds[slot].step_multi(&mut self.ped_rng, FRAME_DT, dormant + 1);
             self.ped_anchor[slot] = frame + 1;
             let pos = self.peds[slot].position();
             self.index.update(key, pos);
@@ -486,12 +485,15 @@ impl Traffic {
             .enumerate()
             .map(|(slot, n)| n.shape_at(map, self.npc_dormant_secs(slot, boundary)))
             .collect();
-        out.extend(self.peds.iter().enumerate().map(|(slot, p)| {
-            CollisionShape::Circle {
-                center: p.position_at(self.ped_dormant_secs(slot, boundary)),
-                radius: PEDESTRIAN_RADIUS,
-            }
-        }));
+        out.extend(
+            self.peds
+                .iter()
+                .enumerate()
+                .map(|(slot, p)| CollisionShape::Circle {
+                    center: p.position_at(self.ped_dormant_secs(slot, boundary)),
+                    radius: PEDESTRIAN_RADIUS,
+                }),
+        );
         out
     }
 

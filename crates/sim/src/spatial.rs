@@ -81,7 +81,9 @@ impl SpatialIndex {
 
     /// The stored position for `key`, if indexed.
     pub fn stored(&self, key: u32) -> Option<Vec2> {
-        self.entries.get(key as usize).and_then(|e| e.map(|(p, _)| p))
+        self.entries
+            .get(key as usize)
+            .and_then(|e| e.map(|(p, _)| p))
     }
 
     /// Inserts `key` at `pos`, or moves it there if already present.
@@ -140,8 +142,8 @@ impl SpatialIndex {
                     continue;
                 };
                 for &key in bucket {
-                    let (pos, _) = self.entries[key as usize]
-                        .expect("bucket entries are always indexed");
+                    let (pos, _) =
+                        self.entries[key as usize].expect("bucket entries are always indexed");
                     if pos.distance_sq(center) <= r_sq {
                         out.push(key);
                     }
@@ -172,7 +174,9 @@ impl SpatialIndex {
 }
 
 fn remove_from_cell(cells: &mut HashMap<(i32, i32), Vec<u32>>, cell: (i32, i32), key: u32) {
-    let bucket = cells.get_mut(&cell).expect("entry cell always has a bucket");
+    let bucket = cells
+        .get_mut(&cell)
+        .expect("entry cell always has a bucket");
     let at = bucket
         .iter()
         .position(|&k| k == key)

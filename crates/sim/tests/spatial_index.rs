@@ -23,15 +23,13 @@ enum Op {
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
-    (0u32..48, -130.0f64..130.0, -130.0f64..130.0, 0u8..4).prop_map(
-        |(key, x, y, kind)| {
-            if kind == 0 {
-                Op::Remove(key)
-            } else {
-                Op::Update(key, x, y)
-            }
-        },
-    )
+    (0u32..48, -130.0f64..130.0, -130.0f64..130.0, 0u8..4).prop_map(|(key, x, y, kind)| {
+        if kind == 0 {
+            Op::Remove(key)
+        } else {
+            Op::Update(key, x, y)
+        }
+    })
 }
 
 /// Snaps about half of the coordinates onto exact cell-boundary
@@ -159,7 +157,11 @@ fn corner_point_visible_from_all_quadrants() {
     for (dx, dy) in [(-1.0, -1.0), (-1.0, 1.0), (1.0, -1.0), (1.0, 1.0)] {
         let c = Vec2::new(30.0 + 2.0 * dx, -20.0 + 2.0 * dy);
         idx.query_circle(c, 3.0, &mut out);
-        assert_eq!(out, vec![0], "missed corner point from quadrant ({dx},{dy})");
+        assert_eq!(
+            out,
+            vec![0],
+            "missed corner point from quadrant ({dx},{dy})"
+        );
     }
 }
 

@@ -229,6 +229,27 @@ elif ! diff -u "$GOLDEN_DIR/$DENSITY_BIN.json" "$SMOKE_DIR/$DENSITY_BIN.json"; t
   fail=1
 fi
 
+# Adaptive tier: the Thompson-sampling fault-space search at --quick
+# scale on 2 workers, golden-diffed on the full trajectory (every batch,
+# every posterior). The trajectory is a pure function of the campaign
+# seed and the run outcomes, so this pins the planner's arm-selection
+# sequence bit-for-bit — any drift in the sampler, the fold order, or
+# the engine itself shows up as a diff.
+ADAPTIVE_BIN=adaptive
+echo "==> smoke: $ADAPTIVE_BIN --quick --workers 2 (adaptive tier)"
+AVFI_RESULTS_DIR="$SMOKE_DIR" \
+  "target/release/$ADAPTIVE_BIN" --quick --workers 2 >"$SMOKE_DIR/$ADAPTIVE_BIN.stdout" 2>&1
+if [[ ! -f "$SMOKE_DIR/$ADAPTIVE_BIN.json" ]]; then
+  echo "smoke FAIL: $ADAPTIVE_BIN emitted no $SMOKE_DIR/$ADAPTIVE_BIN.json" >&2
+  fail=1
+elif [[ "$BLESS" == 1 ]]; then
+  cp "$SMOKE_DIR/$ADAPTIVE_BIN.json" "$GOLDEN_DIR/adaptive_quick.json"
+elif ! diff -u "$GOLDEN_DIR/adaptive_quick.json" "$SMOKE_DIR/$ADAPTIVE_BIN.json"; then
+  echo "smoke FAIL: $ADAPTIVE_BIN trajectory drifted from $GOLDEN_DIR/adaptive_quick.json" >&2
+  echo "  (if the change is intentional, rerun: scripts/smoke.sh --bless)" >&2
+  fail=1
+fi
+
 # Camera tier: golden-image corpus, span-vs-reference differential check
 # plus bit-exact diff against the checked-in .avimg artifacts.
 if [[ "$BLESS" == 1 ]]; then
