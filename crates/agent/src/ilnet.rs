@@ -94,7 +94,9 @@ impl IlNetwork {
     /// Forward pass: image tensor `[1, 24, 32]`, normalized speed, command.
     pub fn forward(&mut self, image: &Tensor, speed: f32, command: Command, train: bool) -> Tensor {
         let features = self.trunk.forward(image, train);
-        let mut head_in = features.into_vec();
+        // One exact-size allocation; `into_vec() + push` would realloc.
+        let mut head_in = Vec::with_capacity(features.len() + 1);
+        head_in.extend_from_slice(features.data());
         head_in.push(speed);
         let n = head_in.len();
         let branch = command.index();

@@ -18,12 +18,19 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.mask = input.data().iter().map(|v| *v > 0.0).collect();
-        self.shape = input.shape().to_vec();
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.mask.clear();
+            self.mask.extend(input.data().iter().map(|v| *v > 0.0));
+            self.shape = input.shape().to_vec();
+        } else {
+            // Inference allocates no mask; a stale one must not linger.
+            self.mask.clear();
+            self.shape.clear();
+        }
         Tensor::from_vec(
             input.data().iter().map(|v| v.max(0.0)).collect(),
-            self.shape.clone(),
+            input.shape().to_vec(),
         )
     }
 
@@ -97,7 +104,7 @@ mod tests {
     #[test]
     fn relu_clamps_negatives() {
         let mut r = Relu::new();
-        let y = r.forward(&Tensor::from_vec(vec![-1.0, 0.0, 2.0], vec![3]), false);
+        let y = r.forward(&Tensor::from_vec(vec![-1.0, 0.0, 2.0], vec![3]), true);
         assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
         let g = r.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0], vec![3]));
         assert_eq!(g.data(), &[0.0, 0.0, 1.0]);

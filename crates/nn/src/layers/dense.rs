@@ -5,6 +5,13 @@ use crate::init::he_uniform;
 use crate::tensor::Tensor;
 use rand::Rng;
 
+/// Output neurons computed per block in the lane-batched forward kernel.
+///
+/// Lanes run across *independent output neurons*; each lane's dot product
+/// walks the input in the exact scalar order, so results are bit-identical
+/// to [`Dense::forward_reference`].
+const DENSE_LANES: usize = 8;
+
 /// A fully-connected (affine) layer: `y = W·x + b`.
 #[derive(Debug, Clone)]
 pub struct Dense {
@@ -48,10 +55,10 @@ impl Dense {
     pub fn out_dim(&self) -> usize {
         self.out_dim
     }
-}
 
-impl Layer for Dense {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    /// Scalar reference forward — the pre-blocking loop, retained as the
+    /// differential oracle for the lane-batched kernel. Never caches.
+    pub fn forward_reference(&self, input: &Tensor) -> Tensor {
         assert_eq!(
             input.len(),
             self.in_dim,
@@ -69,7 +76,48 @@ impl Layer for Dense {
             }
             *yo = acc;
         }
-        self.cached_input = Some(input.clone());
+        Tensor::from_vec(y, vec![self.out_dim])
+    }
+}
+
+impl Layer for Dense {
+    /// Blocked, lane-batched forward: `DENSE_LANES` independent output
+    /// neurons per block share one pass over the input, breaking the FP
+    /// add latency chain while leaving each neuron's accumulation order
+    /// untouched — bit-identical to [`Dense::forward_reference`].
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(
+            input.len(),
+            self.in_dim,
+            "dense expects {} inputs, got {}",
+            self.in_dim,
+            input.len()
+        );
+        let x = input.data();
+        let n = self.in_dim;
+        let mut y = vec![0.0f32; self.out_dim];
+        let mut o = 0;
+        while o + DENSE_LANES <= self.out_dim {
+            let mut chunks = self.weight[o * n..(o + DENSE_LANES) * n].chunks_exact(n);
+            let rows: [&[f32]; DENSE_LANES] = std::array::from_fn(|_| chunks.next().unwrap());
+            let mut acc: [f32; DENSE_LANES] = std::array::from_fn(|l| self.bias[o + l]);
+            for (i, &xi) in x.iter().enumerate() {
+                for (l, a) in acc.iter_mut().enumerate() {
+                    *a += rows[l][i] * xi;
+                }
+            }
+            y[o..o + DENSE_LANES].copy_from_slice(&acc);
+            o += DENSE_LANES;
+        }
+        for (o, yo) in y.iter_mut().enumerate().skip(o) {
+            let row = &self.weight[o * n..(o + 1) * n];
+            let mut acc = self.bias[o];
+            for (w, xi) in row.iter().zip(x) {
+                acc += w * xi;
+            }
+            *yo = acc;
+        }
+        self.cached_input = if train { Some(input.clone()) } else { None };
         Tensor::from_vec(y, vec![self.out_dim])
     }
 
@@ -148,7 +196,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut d = Dense::new(3, 2, &mut rng);
         let x = Tensor::from_vec(vec![0.5, -1.0, 0.25], vec![3]);
-        let out = d.forward(&x, false);
+        let out = d.forward(&x, true);
         let _ = d.backward(&out.clone());
         // Analytic dL/dW[0][1] for L = Σ out²/2 is out[0] * x[1].
         let expected = out.data()[0] * x.data()[1];
@@ -162,7 +210,7 @@ mod tests {
         let mut d = Dense::new(2, 1, &mut rng);
         let x = Tensor::from_vec(vec![1.0, 1.0], vec![2]);
         for _ in 0..2 {
-            let y = d.forward(&x, false);
+            let y = d.forward(&x, true);
             d.backward(&y);
         }
         let g1 = d.params()[1].grads[0];
@@ -175,5 +223,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let mut d = Dense::new(3, 2, &mut rng);
         let _ = d.forward(&Tensor::zeros(vec![4]), false);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn inference_forward_does_not_cache() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut d = Dense::new(3, 2, &mut rng);
+        let y = d.forward(&Tensor::zeros(vec![3]), false);
+        let _ = d.backward(&y);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn inference_forward_clears_training_cache() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut d = Dense::new(3, 2, &mut rng);
+        let x = Tensor::zeros(vec![3]);
+        let _ = d.forward(&x, true);
+        // An inference pass must not leave a stale training cache behind.
+        let y = d.forward(&x, false);
+        let _ = d.backward(&y);
     }
 }

@@ -40,8 +40,10 @@ pub struct ParamSlice<'a> {
 
 /// A differentiable layer.
 pub trait Layer: std::fmt::Debug {
-    /// Computes the layer output, caching whatever `backward` needs.
-    /// `train` enables training-only behavior (dropout).
+    /// Computes the layer output. With `train = true` the layer caches
+    /// whatever `backward` needs and enables training-only behavior
+    /// (dropout); with `train = false` no caching happens — inference is
+    /// allocation-lean and a subsequent `backward` panics.
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
 
     /// Backpropagates `grad_out` (∂loss/∂output), accumulating parameter
@@ -71,7 +73,7 @@ pub(crate) mod testutil {
     /// Perturbs each input element, measures the change of a scalar loss
     /// `L = Σ out²/2`, and compares against the analytic `backward` result.
     pub fn check_input_gradient(layer: &mut dyn Layer, input: &Tensor, tol: f32) {
-        let out = layer.forward(input, false);
+        let out = layer.forward(input, true);
         // dL/dout = out for L = Σ out² / 2.
         let grad_in = layer.backward(&out.clone());
         let eps = 1e-3;

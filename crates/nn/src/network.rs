@@ -69,18 +69,20 @@ impl Sequential {
         &self.overrides
     }
 
-    /// Runs the stack forward.
+    /// Runs the stack forward. The input is only cloned when the stack is
+    /// empty; the first layer reads it in place.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let mut x = input.clone();
+        let mut x: Option<Tensor> = None;
         for (i, layer) in self.layers.iter_mut().enumerate() {
-            x = layer.forward(&x, train);
+            let mut out = layer.forward(x.as_ref().unwrap_or(input), train);
             for ov in &self.overrides {
-                if ov.layer == i && ov.unit < x.len() {
-                    x.data_mut()[ov.unit] = ov.value;
+                if ov.layer == i && ov.unit < out.len() {
+                    out.data_mut()[ov.unit] = ov.value;
                 }
             }
+            x = Some(out);
         }
-        x
+        x.unwrap_or_else(|| input.clone())
     }
 
     /// Backpropagates through the stack, returning ∂loss/∂input.

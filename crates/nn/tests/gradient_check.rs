@@ -32,7 +32,7 @@ fn full_network_input_gradient_matches_finite_difference() {
         vec![1, 8, 8],
     );
     let target = Tensor::from_vec(vec![0.5], vec![1]);
-    let out = net.forward(&x, false);
+    let out = net.forward(&x, true);
     let (l0, grad_l) = mse(&out, &target);
     let grad_in = net.backward(&grad_l);
 
@@ -64,8 +64,8 @@ fn full_network_weight_gradients_match_finite_difference() {
     );
     let target = Tensor::from_vec(vec![-0.3], vec![1]);
 
-    // Analytic gradients.
-    let out = net.forward(&x, false);
+    // Analytic gradients (train = true so layers cache for backward).
+    let out = net.forward(&x, true);
     let (l0, grad_l) = mse(&out, &target);
     net.backward(&grad_l);
     let analytic: Vec<(String, usize, f32)> = {

@@ -1,0 +1,149 @@
+//! Differential oracle for the blocked, lane-batched conv/dense kernels.
+//!
+//! The blocked `forward` paths claim bit-identity with the retained scalar
+//! `forward_reference` oracles (each lane is an independent output whose
+//! accumulation order is untouched). This suite enforces that claim with
+//! `f32::to_bits` comparison — not approximate equality — over randomized
+//! shapes, strides, and paddings, plus deterministic adversarial shapes
+//! (dimensions not a multiple of the lane width, 1×1 images, fewer outputs
+//! than lanes) and the exact IL-CNN layer shapes.
+
+use avfi_nn::layers::{Conv2d, Dense, Layer};
+use avfi_nn::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+fn random_input(rng: &mut StdRng, shape: Vec<usize>) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(
+        (0..n).map(|_| rng.random_range(-1.5f32..1.5)).collect(),
+        shape,
+    )
+}
+
+fn check_conv(
+    (in_ch, out_ch): (usize, usize),
+    (h, w): (usize, usize),
+    k: usize,
+    stride: usize,
+    pad: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut conv = Conv2d::new(in_ch, out_ch, k, stride, pad, &mut rng);
+    let x = random_input(&mut rng, vec![in_ch, h, w]);
+    let reference = conv.forward_reference(&x);
+    for train in [false, true] {
+        let blocked = conv.forward(&x, train);
+        prop_assert_eq!(blocked.shape(), reference.shape());
+        prop_assert_eq!(bits(&blocked), bits(&reference));
+    }
+    Ok(())
+}
+
+fn check_dense(in_dim: usize, out_dim: usize, seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dense = Dense::new(in_dim, out_dim, &mut rng);
+    let x = random_input(&mut rng, vec![in_dim]);
+    let reference = dense.forward_reference(&x);
+    for train in [false, true] {
+        let blocked = dense.forward(&x, train);
+        prop_assert_eq!(blocked.shape(), reference.shape());
+        prop_assert_eq!(bits(&blocked), bits(&reference));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn conv_blocked_matches_reference_bitwise(
+        in_ch in 1usize..=4,
+        out_ch in 1usize..=9,
+        h in 1usize..=12,
+        w in 1usize..=12,
+        ki in 0usize..3,
+        stride in 1usize..=2,
+        pad_raw in 0usize..=5,
+        seed in any::<u64>(),
+    ) {
+        let k = [1usize, 3, 5][ki];
+        let pad = pad_raw.min(k);
+        // Degenerate shapes (kernel larger than padded image) have no
+        // output; skip them rather than constrain the generators.
+        if h + 2 * pad >= k && w + 2 * pad >= k {
+            check_conv((in_ch, out_ch), (h, w), k, stride, pad, seed)?;
+        }
+    }
+
+    #[test]
+    fn dense_blocked_matches_reference_bitwise(
+        in_dim in 1usize..=70,
+        out_dim in 1usize..=70,
+        seed in any::<u64>(),
+    ) {
+        check_dense(in_dim, out_dim, seed)?;
+    }
+}
+
+#[test]
+fn conv_adversarial_shapes() {
+    // (in_ch, out_ch, h, w, k, stride, pad): 1×1 images, widths around the
+    // 4-lane block boundary, stride-2 with full padding, single-pixel
+    // interiors, and kernels larger than the image.
+    let cases: &[(usize, usize, usize, usize, usize, usize, usize)] = &[
+        (1, 1, 1, 1, 1, 1, 0),
+        (1, 1, 1, 1, 3, 1, 1),
+        (2, 3, 1, 1, 5, 2, 5),
+        (1, 2, 3, 3, 3, 1, 1),
+        (1, 2, 4, 5, 3, 1, 1),
+        (1, 2, 5, 6, 3, 1, 1),
+        (1, 2, 7, 7, 3, 1, 0),
+        (3, 5, 9, 13, 3, 2, 1),
+        (2, 4, 8, 11, 5, 2, 2),
+        (1, 1, 2, 2, 5, 1, 2),
+        (2, 2, 6, 4, 1, 2, 1),
+        (1, 3, 10, 3, 3, 1, 3),
+    ];
+    for &(in_ch, out_ch, h, w, k, stride, pad) in cases {
+        let seed = (in_ch * 31 + h * 7 + w * 3 + k) as u64;
+        check_conv((in_ch, out_ch), (h, w), k, stride, pad, seed).unwrap_or_else(|e| {
+            panic!("conv case {in_ch}x{out_ch} {h}x{w} k{k} s{stride} p{pad}: {e}")
+        });
+    }
+}
+
+#[test]
+fn dense_adversarial_shapes() {
+    // Output counts below, at, and just past the 8-lane block width.
+    for &(in_dim, out_dim) in &[
+        (1usize, 1usize),
+        (5, 3),
+        (7, 7),
+        (8, 8),
+        (9, 9),
+        (16, 15),
+        (17, 17),
+        (64, 1),
+        (1, 64),
+    ] {
+        check_dense(in_dim, out_dim, (in_dim * 100 + out_dim) as u64)
+            .unwrap_or_else(|e| panic!("dense case {in_dim}->{out_dim}: {e}"));
+    }
+}
+
+#[test]
+fn il_cnn_layer_shapes_match_bitwise() {
+    // The exact layer shapes of the IL-CNN driving agent (24×32 input).
+    check_conv((1, 8), (24, 32), 5, 2, 2, 42).unwrap();
+    check_conv((8, 16), (12, 16), 3, 2, 1, 43).unwrap();
+    check_dense(768, 64, 44).unwrap();
+    check_dense(65, 32, 45).unwrap();
+    check_dense(32, 3, 46).unwrap();
+}

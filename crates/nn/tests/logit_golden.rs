@@ -1,0 +1,188 @@
+//! Weights-fingerprint + logit-bitwise regression for the IL-CNN forward.
+//!
+//! A seeded replica of the driving agent's conditional imitation network
+//! (same construction order, same RNG stream) fingerprints its serialized
+//! weights with FNV-1a (as the trace `replay` tool does) and runs a fixed
+//! input batch through every command head. Both the fingerprint and the
+//! raw logit bit patterns are pinned in `tests/golden/logit_golden.json`:
+//! a fingerprint mismatch fails loudly as *golden staleness* (weights or
+//! init changed — re-bless deliberately), while a logit mismatch under a
+//! matching fingerprint is a kernel bug. Regenerate with
+//! `AVFI_BLESS_NN=1 cargo test -p avfi-nn --test logit_golden`.
+
+use avfi_nn::layers::{Conv2d, Dense, Flatten, Relu};
+use avfi_nn::serialize::save_weights;
+use avfi_nn::{Sequential, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The checked-in golden document: the weights fingerprint identifies the
+/// network the logits belong to, so staleness and kernel bugs fail apart.
+#[derive(Debug, Serialize, Deserialize)]
+struct Golden {
+    seed: u64,
+    fingerprint: String,
+    logits: Vec<Vec<String>>,
+}
+
+/// Camera input size of the IL agent (NET_HEIGHT × NET_WIDTH).
+const NET_H: usize = 24;
+const NET_W: usize = 32;
+const FEATURE_DIM: usize = 64;
+const HEADS: usize = 4;
+const SEED: u64 = 42;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/logit_golden.json"
+);
+
+/// Replicates `IlNetwork::new(seed)`: one RNG stream, trunk layers then
+/// the four command heads, in declaration order. Kept in avfi-nn (which
+/// cannot depend on avfi-agent) so the kernels are exercised through the
+/// exact production layer shapes.
+fn il_cnn(seed: u64) -> (Sequential, Vec<Sequential>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trunk = Sequential::new();
+    trunk.push(Conv2d::new(1, 8, 5, 2, 2, &mut rng));
+    trunk.push(Relu::new());
+    trunk.push(Conv2d::new(8, 16, 3, 2, 1, &mut rng));
+    trunk.push(Relu::new());
+    trunk.push(Flatten::new());
+    trunk.push(Dense::new(
+        16 * (NET_H / 4) * (NET_W / 4),
+        FEATURE_DIM,
+        &mut rng,
+    ));
+    trunk.push(Relu::new());
+    let heads = (0..HEADS)
+        .map(|_| {
+            let mut h = Sequential::new();
+            h.push(Dense::new(FEATURE_DIM + 1, 32, &mut rng));
+            h.push(Relu::new());
+            h.push(Dense::new(32, 3, &mut rng));
+            h
+        })
+        .collect();
+    (trunk, heads)
+}
+
+/// FNV-1a 64-bit, the same function `avfi-trace` uses for payloads.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn weights_fingerprint(trunk: &mut Sequential, heads: &mut [Sequential]) -> u64 {
+    let mut params = trunk.params();
+    for head in heads.iter_mut() {
+        params.extend(head.params());
+    }
+    fnv1a(&save_weights(&params))
+}
+
+/// Fixed input batch: three deterministic images × three speeds, run
+/// through every head.
+fn input_batch() -> Vec<(Tensor, f32)> {
+    let image = |m: usize, half: f32, scale: f32| {
+        Tensor::from_vec(
+            (0..NET_H * NET_W)
+                .map(|i| ((i % m) as f32 - half) * scale)
+                .collect(),
+            vec![1, NET_H, NET_W],
+        )
+    };
+    vec![
+        (image(13, 6.0, 0.05), 0.0),
+        (image(11, 5.0, 0.08), 0.4),
+        (image(17, 8.0, 0.03), 1.0),
+    ]
+}
+
+/// All logits, as bit patterns: `logits[input * HEADS + head]` is the
+/// three-value output of that head.
+fn run_batch(trunk: &mut Sequential, heads: &mut [Sequential]) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    for (img, speed) in input_batch() {
+        let features = trunk.forward(&img, false);
+        let mut head_in = Vec::with_capacity(features.len() + 1);
+        head_in.extend_from_slice(features.data());
+        head_in.push(speed);
+        let n = head_in.len();
+        let head_in = Tensor::from_vec(head_in, vec![n]);
+        for head in heads.iter_mut() {
+            let logits = head.forward(&head_in, false);
+            assert_eq!(logits.shape(), &[3]);
+            out.push(logits.data().iter().map(|v| v.to_bits()).collect());
+        }
+    }
+    out
+}
+
+fn hex(v: u32) -> String {
+    format!("{v:#010x}")
+}
+
+#[test]
+fn il_cnn_logits_match_golden_bitwise() {
+    let (mut trunk, mut heads) = il_cnn(SEED);
+    let fingerprint = weights_fingerprint(&mut trunk, &mut heads);
+    let logits = run_batch(&mut trunk, &mut heads);
+    let current = Golden {
+        seed: SEED,
+        fingerprint: format!("{fingerprint:#018x}"),
+        logits: logits
+            .iter()
+            .map(|row| row.iter().map(|&b| hex(b)).collect())
+            .collect(),
+    };
+
+    if std::env::var("AVFI_BLESS_NN").is_ok() {
+        let mut rendered = serde_json::to_string_pretty(&current).expect("serialize golden");
+        rendered.push('\n');
+        std::fs::write(GOLDEN_PATH, rendered).expect("write golden");
+        return;
+    }
+
+    let golden_raw = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("missing golden {GOLDEN_PATH} ({e}); run with AVFI_BLESS_NN=1 to create it")
+    });
+    let golden: Golden = serde_json::from_str(&golden_raw).expect("parse golden");
+
+    // Fingerprint gate first: a drift here means the weights themselves
+    // changed (init, RNG stream, serialization) — the golden is STALE and
+    // must be re-blessed deliberately; it says nothing about the kernels.
+    assert_eq!(
+        golden.seed, SEED,
+        "golden was blessed with a different seed"
+    );
+    assert_eq!(
+        current.fingerprint, golden.fingerprint,
+        "GOLDEN STALE: weights fingerprint drifted (got {}, golden {}); \
+         the network init or serialization changed — re-bless with AVFI_BLESS_NN=1 \
+         only if that change is intentional",
+        current.fingerprint, golden.fingerprint
+    );
+
+    // Fingerprint matches, so any logit difference is a forward-kernel bug.
+    assert_eq!(
+        current.logits.len(),
+        golden.logits.len(),
+        "logit row count changed"
+    );
+    for (i, (got, want)) in current.logits.iter().zip(&golden.logits).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "KERNEL BUG: logits for input {} head {} differ bitwise from golden \
+             (weights fingerprint matches, so this is a forward-pass change)",
+            i / HEADS,
+            i % HEADS
+        );
+    }
+}

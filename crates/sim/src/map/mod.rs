@@ -431,6 +431,34 @@ impl MaterialCursor<'_> {
         }
         classify(self.buildings, self.isect_areas, self.axes, p)
     }
+
+    /// Classifies four independent points at once; bit-identical to four
+    /// [`MaterialCursor::material_at`] calls in order.
+    ///
+    /// The lane-batched fast path requires all four points to resolve to
+    /// the same grid cell — the common case for adjacent camera pixels,
+    /// where the axis `distance_sq`/band compares then run 4-wide over one
+    /// cached candidate list. Mixed-cell batches fall back to four scalar
+    /// queries.
+    #[inline]
+    pub fn material_at4(&mut self, ps: [Vec2; 4]) -> [Material; 4] {
+        let g = self.grid;
+        let c0 = g.locate(ps[0]);
+        if let Some(cell) =
+            c0.filter(|_| g.locate(ps[1]) == c0 && g.locate(ps[2]) == c0 && g.locate(ps[3]) == c0)
+        {
+            if self.cell != Some(cell) {
+                let c = g.cells[cell.1 as usize * g.nx + cell.0 as usize];
+                self.buildings = &g.buildings[c.b0 as usize..c.b1 as usize];
+                self.isect_areas = &g.isect_areas[c.i0 as usize..c.i1 as usize];
+                self.axes = &g.axes[c.a0 as usize..c.a1 as usize];
+                self.cell = Some(cell);
+            }
+            classify4(self.buildings, self.isect_areas, self.axes, ps)
+        } else {
+            ps.map(|p| self.material_at(p))
+        }
+    }
 }
 
 /// Flattened per-cell index for [`Map::material_at`].
@@ -630,6 +658,60 @@ fn classify(buildings: &[Aabb], isect_areas: &[Aabb], axes: &[MatAxis], p: Vec2)
         }
     }
     Material::Grass
+}
+
+/// Lane-batched [`classify`] over four points sharing one cell's candidate
+/// geometry: the axis `distance_sq` and band compares run 4-wide, while
+/// each lane's nearest-axis fold visits axes in exactly the scalar order
+/// (replace only on strictly smaller distance, first axis wins ties), so
+/// every lane is bit-identical to a scalar [`classify`] call.
+#[inline]
+fn classify4(
+    buildings: &[Aabb],
+    isect_areas: &[Aabb],
+    axes: &[MatAxis],
+    ps: [Vec2; 4],
+) -> [Material; 4] {
+    let mut decided = [None::<Material>; 4];
+    for (l, p) in ps.iter().enumerate() {
+        if buildings.iter().any(|b| b.contains(*p)) {
+            decided[l] = Some(Material::Building);
+        } else if isect_areas.iter().any(|a| a.contains(*p)) {
+            decided[l] = Some(Material::Road);
+        }
+    }
+    let mut best_d = [f64::INFINITY; 4];
+    let mut best: [Option<&MatAxis>; 4] = [None; 4];
+    for axis in axes {
+        for l in 0..4 {
+            let d_sq = axis.distance_sq(ps[l]);
+            if d_sq < best_d[l] {
+                best_d[l] = d_sq;
+                best[l] = Some(axis);
+            }
+        }
+    }
+    std::array::from_fn(|l| {
+        if let Some(m) = decided[l] {
+            return m;
+        }
+        if let Some(axis) = best[l] {
+            let d_sq = best_d[l];
+            if d_sq <= axis.road_sq {
+                if d_sq <= MARK_HALF * MARK_HALF {
+                    return Material::MarkCenter;
+                }
+                if d_sq >= axis.edge_lo_sq {
+                    return Material::MarkEdge;
+                }
+                return Material::Road;
+            }
+            if d_sq <= axis.walk_sq {
+                return Material::Sidewalk;
+            }
+        }
+        Material::Grass
+    })
 }
 
 /// Reusable buffers for [`Map::classify_ground_row`], so steady-state span

@@ -419,10 +419,22 @@ impl Camera {
                                 let base_c = ctx.shaded[mat as usize];
                                 match fog_row {
                                     Some(fogs) if ctx.fog > 0.0 => {
-                                        for x in s..e {
-                                            let c = mix(base_c, ctx.haze, fogs[x as usize]);
-                                            row[x as usize * 3..x as usize * 3 + 3]
-                                                .copy_from_slice(&c);
+                                        // 4-wide fog-mix blocks; the
+                                        // per-pixel arithmetic is unchanged.
+                                        let (s, e) = (s as usize, e as usize);
+                                        let mut x = s;
+                                        while x + 4 <= e {
+                                            let mut block = [0.0f32; 12];
+                                            for l in 0..4 {
+                                                let c = mix(base_c, ctx.haze, fogs[x + l]);
+                                                block[l * 3..l * 3 + 3].copy_from_slice(&c);
+                                            }
+                                            row[x * 3..x * 3 + 12].copy_from_slice(&block);
+                                            x += 4;
+                                        }
+                                        for x in x..e {
+                                            let c = mix(base_c, ctx.haze, fogs[x]);
+                                            row[x * 3..x * 3 + 3].copy_from_slice(&c);
                                         }
                                     }
                                     None if ctx.fog > 0.0 => {
@@ -469,8 +481,60 @@ impl Camera {
         img.reshape(w, h);
         let ctx = self.frame_ctx(scene, ego);
         let mut materials = scene.map.material_cursor();
-        for (px, ray) in img.data_mut().chunks_exact_mut(3).zip(&self.rays) {
-            let color = match *ray {
+        let ground_pt = |a: f64, b: f64| {
+            Vec2::new(
+                ctx.cam_xy.x + ctx.f2.x * a + ctx.right2.x * b,
+                ctx.cam_xy.y + ctx.f2.y * a + ctx.right2.y * b,
+            )
+        };
+        let data = img.data_mut();
+        let n = self.rays.len();
+        let mut i = 0;
+        while i < n {
+            // Runs of four ground pixels classify 4-wide — the material
+            // query is this path's hot loop, and `material_at4` is
+            // bit-identical to four scalar queries. Everything else (sky,
+            // haze, ground remainders) takes the scalar path below.
+            if i + 4 <= n {
+                if let [PixelRay::Ground {
+                    fwd: a0,
+                    right: b0,
+                    dist: d0,
+                }, PixelRay::Ground {
+                    fwd: a1,
+                    right: b1,
+                    dist: d1,
+                }, PixelRay::Ground {
+                    fwd: a2,
+                    right: b2,
+                    dist: d2,
+                }, PixelRay::Ground {
+                    fwd: a3,
+                    right: b3,
+                    dist: d3,
+                }] = self.rays[i..i + 4]
+                {
+                    let mats = materials.material_at4([
+                        ground_pt(a0, b0),
+                        ground_pt(a1, b1),
+                        ground_pt(a2, b2),
+                        ground_pt(a3, b3),
+                    ]);
+                    for (l, (mat, dist)) in mats.iter().zip([d0, d1, d2, d3]).enumerate() {
+                        let base = ctx.shaded[*mat as usize];
+                        let color = if ctx.fog > 0.0 {
+                            let fb = 1.0 - (-ctx.fog * dist).exp();
+                            mix(base, ctx.haze, fb as f32)
+                        } else {
+                            base
+                        };
+                        data[(i + l) * 3..(i + l) * 3 + 3].copy_from_slice(&color);
+                    }
+                    i += 4;
+                    continue;
+                }
+            }
+            let color = match self.rays[i] {
                 PixelRay::Sky => ctx.sky,
                 PixelRay::Haze => ctx.haze,
                 PixelRay::Ground {
@@ -478,9 +542,7 @@ impl Camera {
                     right: b,
                     dist,
                 } => {
-                    let gx = ctx.cam_xy.x + ctx.f2.x * a + ctx.right2.x * b;
-                    let gy = ctx.cam_xy.y + ctx.f2.y * a + ctx.right2.y * b;
-                    let mat = materials.material_at(Vec2::new(gx, gy));
+                    let mat = materials.material_at(ground_pt(a, b));
                     let base = ctx.shaded[mat as usize];
                     if ctx.fog > 0.0 {
                         let fb = 1.0 - (-ctx.fog * dist).exp();
@@ -490,7 +552,8 @@ impl Camera {
                     }
                 }
             };
-            px.copy_from_slice(&color);
+            data[i * 3..i * 3 + 3].copy_from_slice(&color);
+            i += 1;
         }
         self.billboard_pass(scene, &ctx, img);
     }

@@ -250,6 +250,43 @@ elif ! diff -u "$GOLDEN_DIR/adaptive_quick.json" "$SMOKE_DIR/$ADAPTIVE_BIN.json"
   fail=1
 fi
 
+# NN tier: the lane-batched inference kernels, end to end. Runs the
+# logit golden (weights-fingerprint + bitwise logit regression), the
+# nn_forward bench's internal bit-identity gate (blocked vs scalar
+# reference), and a 1-worker rerun of the IL-CNN ML-fault campaign
+# diffed against the same golden the 2-worker main loop used — proving
+# the kernel swap is invisible end to end *and* worker-invariant.
+NN_BIN=ext_c_ml_faults
+NN_DIR="$SMOKE_DIR/nn"
+mkdir -p "$NN_DIR"
+echo "==> smoke: logit golden (avfi-nn, bitwise)"
+if [[ "$BLESS" == 1 ]]; then
+  AVFI_BLESS_NN=1 cargo test --release -q -p avfi-nn --test logit_golden \
+    >"$NN_DIR/logit_golden.stdout" 2>&1
+elif ! cargo test --release -q -p avfi-nn --test logit_golden \
+    >"$NN_DIR/logit_golden.stdout" 2>&1; then
+  echo "smoke FAIL: IL-CNN logit golden drifted (see $NN_DIR/logit_golden.stdout)" >&2
+  tail -40 "$NN_DIR/logit_golden.stdout" >&2
+  fail=1
+fi
+echo "==> smoke: nn_forward --quick (kernel bit-identity gate)"
+if ! target/release/nn_forward --quick >"$NN_DIR/nn_forward.json" \
+    2>"$NN_DIR/nn_forward.stderr"; then
+  echo "smoke FAIL: nn_forward bit-identity assertion failed" >&2
+  cat "$NN_DIR/nn_forward.stderr" >&2
+  fail=1
+fi
+echo "==> smoke: $NN_BIN --quick --workers 1 (nn tier, worker invariance)"
+AVFI_RESULTS_DIR="$NN_DIR" \
+  "target/release/$NN_BIN" --quick --workers 1 >"$NN_DIR/$NN_BIN.stdout" 2>&1
+if [[ ! -f "$NN_DIR/$NN_BIN.json" ]]; then
+  echo "smoke FAIL: $NN_BIN (1 worker) emitted no $NN_DIR/$NN_BIN.json" >&2
+  fail=1
+elif ! diff -u "$GOLDEN_DIR/$NN_BIN.json" "$NN_DIR/$NN_BIN.json"; then
+  echo "smoke FAIL: $NN_BIN at 1 worker drifted from $GOLDEN_DIR/$NN_BIN.json" >&2
+  fail=1
+fi
+
 # Camera tier: golden-image corpus, span-vs-reference differential check
 # plus bit-exact diff against the checked-in .avimg artifacts.
 if [[ "$BLESS" == 1 ]]; then
