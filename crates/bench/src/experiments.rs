@@ -70,8 +70,10 @@ impl Scale {
 /// Engine execution options shared by every experiment binary:
 /// `--workers N` (0 = one per core), `--progress` (stream engine events
 /// to stderr), the flight recorder (`--trace DIR` plus
-/// `--trace-level off|summary|blackbox`), and post-study failure
-/// minimization (`--shrink DIR`, requires `--trace`).
+/// `--trace-level off|summary|blackbox`), post-study failure
+/// minimization (`--shrink DIR`, requires `--trace`), and durable
+/// checkpointing (`--spool DIR`: journal every completed run so an
+/// interrupted invocation resumes where it stopped, byte-identically).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecOptions {
     /// Engine worker threads (0 = one per available core).
@@ -85,11 +87,16 @@ pub struct ExecOptions {
     /// Minimal-repro output directory: after the study, every failed
     /// trace is delta-debugged into a minimal repro (`None` disables).
     pub shrink: Option<PathBuf>,
+    /// Checkpoint directory: write-ahead journal every completed run
+    /// (`avfi-store`), resuming any earlier interrupted invocation of
+    /// the same plan found there (`None` disables).
+    pub spool: Option<PathBuf>,
 }
 
 impl ExecOptions {
     /// Parses `--workers N`, `--progress`, `--trace DIR`,
-    /// `--trace-level LEVEL`, and `--shrink DIR` from argv.
+    /// `--trace-level LEVEL`, `--shrink DIR`, and `--spool DIR` from
+    /// argv.
     pub fn from_args() -> ExecOptions {
         Self::parse(std::env::args())
     }
@@ -117,23 +124,37 @@ impl ExecOptions {
                     }
                 }
                 "--shrink" => opts.shrink = args.next().map(PathBuf::from),
+                "--spool" => opts.spool = args.next().map(PathBuf::from),
                 _ => {}
             }
         }
         opts
     }
 
-    /// Executes a work plan through the engine with these options.
+    /// Executes a work plan through the engine with these options. With
+    /// `--spool DIR` the run is checkpointed through
+    /// [`avfi_store::run_spooled`]: every completed run is journaled, a
+    /// journal left by an interrupted earlier invocation is resumed
+    /// (only the gap re-executes), and the results are byte-identical
+    /// either way.
     pub fn execute(&self, plan: &WorkPlan) -> Vec<StudyResult> {
         let mut engine = Engine::new().workers(self.workers);
         if let Some(dir) = &self.trace {
             engine = engine.with_trace(TraceConfig::new(dir, self.trace_level));
         }
-        if self.progress {
-            engine.execute_with(plan, &StderrProgress::default())
+        let progress = StderrProgress::default();
+        let sink: &dyn avfi_core::ProgressSink = if self.progress {
+            &progress
         } else {
-            engine.execute(plan)
+            &avfi_core::engine::NullSink
+        };
+        if let Some(spool) = &self.spool {
+            return avfi_store::run_spooled(&engine, plan, spool, self.trace_level.as_str(), sink)
+                .unwrap_or_else(|e| {
+                    panic!("--spool {}: {e}", spool.display());
+                });
         }
+        engine.execute_with(plan, sink)
     }
 }
 
@@ -794,6 +815,22 @@ mod tests {
             Some(std::path::Path::new("minimized/"))
         );
         assert_eq!(ExecOptions::default().shrink, None);
+    }
+
+    #[test]
+    fn exec_options_parse_spool_flag() {
+        let args = |v: &[&str]| {
+            v.iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .into_iter()
+        };
+        let o = ExecOptions::parse(args(&["bin", "--spool", "checkpoints/"]));
+        assert_eq!(
+            o.spool.as_deref(),
+            Some(std::path::Path::new("checkpoints/"))
+        );
+        assert_eq!(ExecOptions::default().spool, None);
     }
 
     #[test]

@@ -42,7 +42,7 @@ use std::time::Instant;
 
 pub mod pool;
 
-pub use pool::{MultiplexPool, PlanEvent, PlanTicket};
+pub use pool::{MultiplexPool, PlanEvent, PlanTicket, RecoveredSubmission};
 
 /// One named group of campaigns (e.g. "fig2 input faults").
 ///
@@ -300,6 +300,34 @@ impl ProgressSink for CollectSink {
     }
 }
 
+/// Consumer of durable run completions: the write-ahead seam the
+/// `avfi-store` crate plugs into. Where [`ProgressSink`] streams
+/// observability events, a `RunSink` receives the *payloads* — each
+/// finished run's [`RunResult`] (and trace, when one was recorded) keyed
+/// by flat plan index, plus the plan's terminal phase — so an
+/// implementation can journal them to disk as they happen.
+///
+/// Implementations are called concurrently from worker threads and must
+/// handle their own synchronization. The engine calls `run_completed`
+/// *before* publishing the result to its in-memory slot, so a journal
+/// record always exists for any run the engine counts as finished.
+pub trait RunSink: Sync {
+    /// One run finished: its flat-plan index, result, and trace (if the
+    /// flight recorder emitted one).
+    fn run_completed(
+        &self,
+        flat_index: usize,
+        result: &RunResult,
+        trace: Option<&avfi_trace::RunTrace>,
+    );
+
+    /// The plan reached a terminal phase (`"completed"`, `"cancelled"`,
+    /// `"failed"`). Called at most once.
+    fn plan_terminal(&self, phase: &str) {
+        let _ = phase;
+    }
+}
+
 /// A flattened work item: one (study, campaign, scenario, run) tuple.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct WorkItem {
@@ -367,8 +395,10 @@ pub(crate) fn plan_trace_specs(
 
 /// Deterministic reassembly: `runs` was produced in flat-plan order, so
 /// draining it campaign by campaign restores (scenario, run) order
-/// within each campaign exactly as the sequential path produces.
-pub(crate) fn assemble_results(plan: &WorkPlan, runs: Vec<RunResult>) -> Vec<StudyResult> {
+/// within each campaign exactly as the sequential path produces. Public
+/// because the `avfi-store` crate reassembles journaled results the same
+/// way — byte identity between the two paths is the resume contract.
+pub fn assemble_results(plan: &WorkPlan, runs: Vec<RunResult>) -> Vec<StudyResult> {
     let mut rest = runs.into_iter();
     plan.studies
         .iter()
@@ -551,11 +581,54 @@ impl Engine {
     /// its seed from its (campaign template, scenario, run) coordinates
     /// and lands in a preassigned slot.
     pub fn execute_with(&self, plan: &WorkPlan, sink: &dyn ProgressSink) -> Vec<StudyResult> {
+        self.execute_resumed(plan, Vec::new(), sink, None)
+    }
+
+    /// [`Engine::execute_with`], resumed: `prefilled` results (keyed by
+    /// flat plan index — e.g. recovered from an `avfi-store` journal)
+    /// slot straight into their preassigned positions and only the
+    /// remaining items fan out across the workers. Each completing run is
+    /// also reported to `spool` (before it is published in-memory), which
+    /// is how the write-ahead journal observes execution.
+    ///
+    /// Because every run's output depends only on its flat-plan
+    /// coordinates and results assemble in flat-plan order, the returned
+    /// results are **byte-identical** to an uninterrupted
+    /// [`Engine::execute`] of the same plan, for any worker count and any
+    /// prefilled subset. Out-of-range or duplicate prefilled indices are
+    /// ignored (first entry wins).
+    pub fn execute_resumed(
+        &self,
+        plan: &WorkPlan,
+        prefilled: Vec<(usize, RunResult)>,
+        sink: &dyn ProgressSink,
+        spool: Option<&dyn RunSink>,
+    ) -> Vec<StudyResult> {
         let campaigns: Vec<&CampaignConfig> =
             plan.studies.iter().flat_map(|s| &s.campaigns).collect();
         let items = flatten_items(plan);
         let total = items.len();
-        let workers = self.effective_workers(total);
+
+        let slots: Vec<parking_lot::Mutex<Option<RunResult>>> =
+            (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
+        let mut campaign_prefilled = vec![0usize; campaigns.len()];
+        let mut prefilled_count = 0usize;
+        for (idx, result) in prefilled {
+            if idx >= total {
+                continue;
+            }
+            let mut slot = slots[idx].lock();
+            if slot.is_none() {
+                *slot = Some(result);
+                campaign_prefilled[items[idx].flat_campaign] += 1;
+                prefilled_count += 1;
+            }
+        }
+        // The work queue is only the unfilled indices, still in flat-plan
+        // order; scheduling over it cannot affect where results land.
+        let pending: Vec<usize> = (0..total).filter(|&i| slots[i].lock().is_none()).collect();
+
+        let workers = self.effective_workers(pending.len());
         sink.event(&ProgressEvent::Started {
             total_runs: total,
             campaigns: campaigns.len(),
@@ -567,22 +640,21 @@ impl Engine {
             trace_cfg.map(|tc| plan_trace_specs(plan, tc.level, tc.blackbox_frames()));
         let trace_specs = trace_specs.as_deref();
 
-        let slots: Vec<parking_lot::Mutex<Option<RunResult>>> =
-            (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
         let remaining: Vec<AtomicUsize> = campaigns
             .iter()
-            .map(|c| AtomicUsize::new(c.total_runs()))
+            .zip(&campaign_prefilled)
+            .map(|(c, &done)| AtomicUsize::new(c.total_runs() - done))
             .collect();
         let busy: Vec<parking_lot::Mutex<f64>> =
             (0..workers).map(|_| parking_lot::Mutex::new(0.0)).collect();
         let next = AtomicUsize::new(0);
-        let completed = AtomicUsize::new(0);
+        let completed = AtomicUsize::new(prefilled_count);
         let started = Instant::now();
 
-        {
+        if !pending.is_empty() {
             // Shared references for the worker closures.
-            let (items, campaigns, slots, remaining, busy, next, completed) = (
-                &items, &campaigns, &slots, &remaining, &busy, &next, &completed,
+            let (items, pending, campaigns, slots, remaining, busy, next, completed) = (
+                &items, &pending, &campaigns, &slots, &remaining, &busy, &next, &completed,
             );
             crossbeam::scope(|scope| {
                 for (worker, busy_slot) in busy.iter().enumerate() {
@@ -596,14 +668,15 @@ impl Engine {
                             _ => Recorder::new(false),
                         };
                         loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= total {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= pending.len() {
                                 break;
                             }
+                            let i = pending[k];
                             let item = items[i];
                             let cfg = campaigns[item.flat_campaign];
                             let t0 = Instant::now();
-                            let result = match (trace_cfg, trace_specs) {
+                            let (result, trace) = match (trace_cfg, trace_specs) {
                                 (Some(tc), Some(specs)) => {
                                     let (result, trace) = run_single_traced(
                                         &cfg.scenarios[item.scenario],
@@ -620,16 +693,24 @@ impl Engine {
                                                 panic!("cannot write trace for run {i}: {e}")
                                             });
                                     }
-                                    result
+                                    (result, trace)
                                 }
-                                _ => run_single(
-                                    &cfg.scenarios[item.scenario],
-                                    item.scenario,
-                                    item.run,
-                                    &cfg.fault,
-                                    &cfg.agent,
+                                _ => (
+                                    run_single(
+                                        &cfg.scenarios[item.scenario],
+                                        item.scenario,
+                                        item.run,
+                                        &cfg.fault,
+                                        &cfg.agent,
+                                    ),
+                                    None,
                                 ),
                             };
+                            // Journal before publishing: any run the
+                            // engine counts as done has a durable record.
+                            if let Some(spool) = spool {
+                                spool.run_completed(i, &result, trace.as_ref());
+                            }
                             *busy_slot.lock() += t0.elapsed().as_secs_f64();
                             let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                             sink.event(&ProgressEvent::RunCompleted {
@@ -673,6 +754,9 @@ impl Engine {
             total_km: runs.iter().map(|r| r.distance_km).sum(),
             total_violations: runs.iter().map(|r| r.violations.len()).sum(),
         });
+        if let Some(spool) = spool {
+            spool.plan_terminal("completed");
+        }
 
         assemble_results(plan, runs)
     }

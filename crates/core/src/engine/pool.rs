@@ -33,8 +33,8 @@
 //! [`Engine::execute`](super::Engine::execute) of the same plan.
 
 use super::{
-    assemble_results, flatten_items, plan_trace_specs, ProgressEvent, StudyResult, WorkItem,
-    WorkPlan,
+    assemble_results, flatten_items, plan_trace_specs, ProgressEvent, RunSink, StudyResult,
+    WorkItem, WorkPlan,
 };
 use crate::campaign::{run_single, run_single_traced, CampaignConfig, RunResult, TraceSpec};
 use avfi_net::proto::{PlanId, PlanLifecycle, PlanPhase};
@@ -43,6 +43,7 @@ use avfi_sim::FRAME_DT;
 use avfi_trace::{RunTrace, TraceLevel};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -89,6 +90,69 @@ struct Sched {
     shutdown: bool,
 }
 
+/// The plan's durable spool, type-erased: an `avfi-store` journal the
+/// workers report each completed run (and the terminal phase) into.
+struct SpoolHandle(Arc<dyn RunSink + Send + Sync>);
+
+impl fmt::Debug for SpoolHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SpoolHandle(..)")
+    }
+}
+
+/// Everything a plan submission can carry; the single funnel every
+/// public `submit_*` variant normalizes into.
+struct Submission {
+    plan: WorkPlan,
+    level: TraceLevel,
+    blackbox_seconds: f64,
+    id: PlanId,
+    /// Already-known results by flat index (recovered from a journal).
+    prefilled: Vec<(usize, RunResult)>,
+    /// Already-known traces by flat index (recovered from spooled files).
+    traces: Vec<(usize, RunTrace)>,
+    /// Journaled terminal phase: skip execution, reload as terminal state.
+    terminal: Option<PlanPhase>,
+    spool: Option<Arc<dyn RunSink + Send + Sync>>,
+}
+
+/// A plan recovered from an `avfi-store` journal, re-submitted under its
+/// original id with whatever the journal preserved. Built by the server's
+/// spool recovery scan; see [`MultiplexPool::submit_recovered`].
+pub struct RecoveredSubmission {
+    /// The recovered plan, parsed back from the journaled submission.
+    pub plan: WorkPlan,
+    /// Trace level the plan was originally submitted with.
+    pub level: TraceLevel,
+    /// Blackbox ring length in seconds (ignored unless `level` is
+    /// `Blackbox`).
+    pub blackbox_seconds: f64,
+    /// The plan's **original** id — results stay fetchable under the
+    /// handle the client already holds.
+    pub id: PlanId,
+    /// Journaled run results by flat plan index.
+    pub prefilled: Vec<(usize, RunResult)>,
+    /// Traces reloaded from spooled `.avtr` files, by flat plan index.
+    pub traces: Vec<(usize, RunTrace)>,
+    /// Journaled terminal phase, if the plan already finished: the plan
+    /// reloads as fetchable terminal state without executing anything.
+    pub terminal: Option<PlanPhase>,
+    /// Journal to keep appending to while the gap re-executes.
+    pub spool: Option<Arc<dyn RunSink + Send + Sync>>,
+}
+
+impl fmt::Debug for RecoveredSubmission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecoveredSubmission")
+            .field("id", &self.id)
+            .field("level", &self.level)
+            .field("prefilled", &self.prefilled.len())
+            .field("traces", &self.traces.len())
+            .field("terminal", &self.terminal)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Shared state of one submitted plan.
 #[derive(Debug)]
 struct PlanRun {
@@ -101,7 +165,12 @@ struct PlanRun {
     /// Per-flat-campaign runs left, for `CampaignCompleted` events.
     remaining: Vec<AtomicUsize>,
     trace_specs: Option<Vec<TraceSpec>>,
-    /// Claim cursor; mutated only under the scheduler lock.
+    /// Flat indices still to execute, in flat-plan order. The whole plan
+    /// for a fresh submission; only the unjournaled gap for a recovered
+    /// one.
+    pending: Vec<usize>,
+    /// Claim cursor into `pending`; mutated only under the scheduler
+    /// lock.
     next: AtomicUsize,
     /// Claimed but not yet finished (executed or skipped).
     outstanding: AtomicUsize,
@@ -121,6 +190,8 @@ struct PlanRun {
     slots: Vec<parking_lot::Mutex<Option<RunResult>>>,
     /// Collected traces, keyed by flat plan index (sorted at finalize).
     traces: parking_lot::Mutex<Vec<(usize, RunTrace)>>,
+    /// Durable spool (write-ahead journal), when the plan is persisted.
+    spool: Option<SpoolHandle>,
     state: Mutex<PlanState>,
     state_changed: Condvar,
 }
@@ -192,9 +263,12 @@ fn finalize(run: &PlanRun, phase: PlanPhase) {
     }
     // Cancel-before-start legally jumps Queued → Cancelled; a cancel
     // racing completion loses quietly and the plan stays Completed.
-    st.lifecycle.advance_if_legal(phase);
+    let actual = st.lifecycle.advance_if_legal(phase);
     drop(st);
     *run.finished_at.lock() = Some(Instant::now());
+    if let Some(spool) = &run.spool {
+        spool.0.plan_terminal(actual.name());
+    }
     run.state_changed.notify_all();
 }
 
@@ -407,22 +481,144 @@ impl MultiplexPool {
         level: TraceLevel,
         blackbox_seconds: f64,
     ) -> PlanTicket {
-        let id = self.shared.next_plan_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let id = self.allocate_id();
+        self.submit_full(Submission {
+            plan,
+            level,
+            blackbox_seconds,
+            id,
+            prefilled: Vec::new(),
+            traces: Vec::new(),
+            terminal: None,
+            spool: None,
+        })
+    }
+
+    /// [`MultiplexPool::submit_traced`] with a durable spool attached:
+    /// the pool assigns the plan id first, hands it to `make_spool` (the
+    /// server creates the plan's journal file there, named by id, and
+    /// writes the `PlanSubmitted` record), and only then lets the plan
+    /// enter the rotation — so every run a worker executes already has a
+    /// journal to land in. A factory returning `None` (e.g. on an I/O
+    /// failure it chose to swallow) submits the plan unspooled.
+    pub fn submit_spooled(
+        &self,
+        plan: WorkPlan,
+        level: TraceLevel,
+        blackbox_seconds: f64,
+        make_spool: impl FnOnce(PlanId) -> Option<Arc<dyn RunSink + Send + Sync>>,
+    ) -> PlanTicket {
+        let id = self.allocate_id();
+        let spool = make_spool(id);
+        self.submit_full(Submission {
+            plan,
+            level,
+            blackbox_seconds,
+            id,
+            prefilled: Vec::new(),
+            traces: Vec::new(),
+            terminal: None,
+            spool,
+        })
+    }
+
+    /// Re-submits a plan recovered from an `avfi-store` journal under its
+    /// **original** id: journaled results slot straight into their
+    /// preassigned positions, recovered traces re-attach, and only the
+    /// unjournaled gap fans out across the workers — so the final
+    /// results are byte-identical to an uninterrupted run ([`Engine`]'s
+    /// resume argument, lifted into the pool). Call
+    /// [`MultiplexPool::reserve_plan_ids`] with the highest recovered id
+    /// first so fresh submissions never collide.
+    ///
+    /// [`Engine`]: super::Engine
+    pub fn submit_recovered(&self, sub: RecoveredSubmission) -> PlanTicket {
+        self.shared
+            .next_plan_id
+            .fetch_max(sub.id, Ordering::Relaxed);
+        self.submit_full(Submission {
+            plan: sub.plan,
+            level: sub.level,
+            blackbox_seconds: sub.blackbox_seconds,
+            id: sub.id,
+            prefilled: sub.prefilled,
+            traces: sub.traces,
+            terminal: sub.terminal,
+            spool: sub.spool,
+        })
+    }
+
+    /// Ensures future plan ids are strictly greater than `max_seen` —
+    /// recovery calls this with the highest journaled id before
+    /// accepting new submissions.
+    pub fn reserve_plan_ids(&self, max_seen: PlanId) {
+        self.shared
+            .next_plan_id
+            .fetch_max(max_seen, Ordering::Relaxed);
+    }
+
+    fn allocate_id(&self) -> PlanId {
+        self.shared.next_plan_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn submit_full(&self, sub: Submission) -> PlanTicket {
+        let Submission {
+            plan,
+            level,
+            blackbox_seconds,
+            id,
+            prefilled,
+            traces,
+            terminal,
+            spool,
+        } = sub;
         let items = flatten_items(&plan);
         let campaigns: Vec<CampaignConfig> = plan
             .studies()
             .iter()
             .flat_map(|s| s.campaigns.iter().cloned())
             .collect();
+        let total = items.len();
+
+        // Slot in recovered results: first record wins, out-of-bounds
+        // indices are dropped (resume re-executes anything not slotted;
+        // determinism keeps the output identical either way).
+        let slots: Vec<parking_lot::Mutex<Option<RunResult>>> =
+            (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
+        let mut campaign_done = vec![0usize; campaigns.len()];
+        let mut prefilled_count = 0usize;
+        for (idx, result) in prefilled {
+            if idx >= total {
+                continue;
+            }
+            let mut slot = slots[idx].lock();
+            if slot.is_none() {
+                *slot = Some(result);
+                campaign_done[items[idx].flat_campaign] += 1;
+                prefilled_count += 1;
+            }
+        }
+        // A journaled terminal `Completed` implies full run coverage (the
+        // journal appends every run record before the terminal one); if a
+        // journal claims otherwise, ignore the claim and run the gap.
+        let terminal = match terminal {
+            Some(PlanPhase::Completed) if prefilled_count < total => None,
+            t => t,
+        };
+        let pending: Vec<usize> = if terminal.is_some() {
+            Vec::new()
+        } else {
+            (0..total).filter(|&i| slots[i].lock().is_none()).collect()
+        };
+
         let remaining = campaigns
             .iter()
-            .map(|c| AtomicUsize::new(c.total_runs()))
+            .zip(&campaign_done)
+            .map(|(c, &done)| AtomicUsize::new(c.total_runs() - done))
             .collect();
         let blackbox_frames = ((blackbox_seconds / FRAME_DT).ceil() as usize).max(1);
         let trace_specs =
             (level != TraceLevel::Off).then(|| plan_trace_specs(&plan, level, blackbox_frames));
-        let total = items.len();
-        let slots = (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
         let run = Arc::new(PlanRun {
             id,
             plan,
@@ -430,9 +626,10 @@ impl MultiplexPool {
             campaigns,
             remaining,
             trace_specs,
+            pending,
             next: AtomicUsize::new(0),
             outstanding: AtomicUsize::new(0),
-            executed: AtomicUsize::new(0),
+            executed: AtomicUsize::new(prefilled_count),
             cancelled: AtomicBool::new(false),
             started: AtomicBool::new(false),
             finalized: AtomicBool::new(false),
@@ -440,7 +637,8 @@ impl MultiplexPool {
             submitted_at: Instant::now(),
             finished_at: parking_lot::Mutex::new(None),
             slots,
-            traces: parking_lot::Mutex::new(Vec::new()),
+            traces: parking_lot::Mutex::new(traces),
+            spool: spool.map(SpoolHandle),
             state: Mutex::new(PlanState {
                 lifecycle: PlanLifecycle::new(),
                 events: Vec::new(),
@@ -453,8 +651,14 @@ impl MultiplexPool {
             campaigns: run.campaigns.len(),
             workers: self.shared.workers,
         });
-        if total == 0 {
-            // Trivially complete; never enters the rotation.
+        if let Some(phase) = terminal {
+            // Recovered already-terminal plan: reload it as fetchable
+            // state without executing anything.
+            run.mark_running();
+            finalize(&run, phase);
+        } else if run.pending.is_empty() {
+            // Trivially complete (empty plan, or recovery journaled every
+            // run); never enters the rotation.
             run.mark_running();
             finalize(&run, PlanPhase::Completed);
         } else {
@@ -509,16 +713,17 @@ fn claim(
             continue;
         }
         let i = plan.next.load(Ordering::Relaxed);
-        if i >= plan.total() {
+        if i >= plan.pending.len() {
             continue;
         }
         plan.next.store(i + 1, Ordering::Relaxed);
         plan.outstanding.fetch_add(1, Ordering::AcqRel);
-        journal.lock().push((plan.id, i));
-        if i + 1 < plan.total() {
+        let flat = plan.pending[i];
+        journal.lock().push((plan.id, flat));
+        if i + 1 < plan.pending.len() {
             sched.active.push_back(Arc::clone(&plan));
         }
-        return Some((plan, i));
+        return Some((plan, flat));
     }
     None
 }
@@ -551,7 +756,7 @@ fn execute_item(plan: &Arc<PlanRun>, idx: usize, worker: usize) {
         plan.mark_running();
         let item = plan.items[idx];
         let cfg = &plan.campaigns[item.flat_campaign];
-        let result = match &plan.trace_specs {
+        let (result, trace) = match &plan.trace_specs {
             Some(specs) => {
                 let spec = &specs[item.flat_campaign];
                 let mut recorder = if spec.level == TraceLevel::Blackbox {
@@ -559,7 +764,7 @@ fn execute_item(plan: &Arc<PlanRun>, idx: usize, worker: usize) {
                 } else {
                     Recorder::new(false)
                 };
-                let (result, trace) = run_single_traced(
+                run_single_traced(
                     &cfg.scenarios[item.scenario],
                     item.scenario,
                     item.run,
@@ -567,20 +772,29 @@ fn execute_item(plan: &Arc<PlanRun>, idx: usize, worker: usize) {
                     &cfg.agent,
                     spec,
                     &mut recorder,
-                );
-                if let Some(trace) = trace {
-                    plan.traces.lock().push((idx, trace));
-                }
-                result
+                )
             }
-            None => run_single(
-                &cfg.scenarios[item.scenario],
-                item.scenario,
-                item.run,
-                &cfg.fault,
-                &cfg.agent,
+            None => (
+                run_single(
+                    &cfg.scenarios[item.scenario],
+                    item.scenario,
+                    item.run,
+                    &cfg.fault,
+                    &cfg.agent,
+                ),
+                None,
             ),
         };
+        // Journal before the in-memory publish: a crash after the spool
+        // write simply replays an already-slotted run on resume, which
+        // determinism makes harmless; a crash before it re-executes the
+        // run to the identical result.
+        if let Some(spool) = &plan.spool {
+            spool.0.run_completed(idx, &result, trace.as_ref());
+        }
+        if let Some(trace) = trace {
+            plan.traces.lock().push((idx, trace));
+        }
         let (km, violations, success) = (
             result.distance_km,
             result.violations.len(),
@@ -835,5 +1049,91 @@ mod tests {
         let mut sorted = indices.clone();
         sorted.sort_unstable();
         assert_eq!(indices, sorted, "traces sorted by flat index");
+    }
+
+    /// A recovered terminal plan reloads as fetchable state without
+    /// executing anything; a recovered interrupted plan executes only
+    /// its gap — both byte-identical to a solo run, both under their
+    /// original ids, with fresh ids reserved past them.
+    #[test]
+    fn recovered_submissions_reload_and_resume() {
+        let plan = plan_a();
+        let solo = Engine::new().workers(1).execute(&plan);
+        let solo_json = json(&solo);
+        // Harvest per-run results by flat index from a fresh pool run.
+        let harvest = MultiplexPool::new(2);
+        let t = harvest.submit(plan.clone());
+        t.wait_terminal();
+        harvest.shutdown();
+        let runs: Vec<(usize, RunResult)> = {
+            // Re-derive flat-indexed runs from the solo results: flat
+            // order is campaign-major, (scenario, run) within.
+            let mut flat = Vec::new();
+            for study in &solo {
+                for campaign in &study.campaigns {
+                    for run in campaign.runs() {
+                        flat.push(run.clone());
+                    }
+                }
+            }
+            flat.into_iter().enumerate().collect()
+        };
+        let total = plan.total_runs();
+        assert_eq!(runs.len(), total);
+
+        let pool = MultiplexPool::new(2);
+        // Terminal reload: full prefill + journaled "completed".
+        let reloaded = pool.submit_recovered(RecoveredSubmission {
+            plan: plan.clone(),
+            level: TraceLevel::Off,
+            blackbox_seconds: 5.0,
+            id: 11,
+            prefilled: runs.clone(),
+            traces: Vec::new(),
+            terminal: Some(PlanPhase::Completed),
+            spool: None,
+        });
+        assert_eq!(reloaded.id(), 11);
+        assert_eq!(reloaded.wait_terminal(), PlanPhase::Completed);
+        assert_eq!(json(&reloaded.wait_results().expect("reloaded")), solo_json);
+        assert_eq!(reloaded.completed_runs(), total);
+
+        // Gap resume: half the runs prefilled, no terminal record.
+        let resumed = pool.submit_recovered(RecoveredSubmission {
+            plan: plan.clone(),
+            level: TraceLevel::Off,
+            blackbox_seconds: 5.0,
+            id: 12,
+            prefilled: runs[..total / 2].to_vec(),
+            traces: Vec::new(),
+            terminal: None,
+            spool: None,
+        });
+        assert_eq!(resumed.id(), 12);
+        assert_eq!(resumed.wait_terminal(), PlanPhase::Completed);
+        assert_eq!(json(&resumed.wait_results().expect("resumed")), solo_json);
+
+        // A journaled "completed" without full coverage is downgraded:
+        // the gap executes instead of reloading a lying terminal state.
+        let downgraded = pool.submit_recovered(RecoveredSubmission {
+            plan: plan.clone(),
+            level: TraceLevel::Off,
+            blackbox_seconds: 5.0,
+            id: 13,
+            prefilled: runs[..1].to_vec(),
+            traces: Vec::new(),
+            terminal: Some(PlanPhase::Completed),
+            spool: None,
+        });
+        assert_eq!(downgraded.wait_terminal(), PlanPhase::Completed);
+        assert_eq!(
+            json(&downgraded.wait_results().expect("downgraded")),
+            solo_json
+        );
+
+        // Fresh submissions allocate past every recovered id.
+        let fresh = pool.submit(plan_b());
+        assert!(fresh.id() > 13, "fresh id {} not reserved", fresh.id());
+        pool.shutdown();
     }
 }

@@ -83,8 +83,8 @@ pub use adaptive::{
 };
 pub use campaign::{Campaign, CampaignConfig, CampaignResult, RunResult, TraceSpec};
 pub use engine::{
-    Engine, MultiplexPool, PlanEvent, PlanTicket, ProgressEvent, ProgressSink, StudyResult,
-    TraceConfig, WorkPlan,
+    Engine, MultiplexPool, PlanEvent, PlanTicket, ProgressEvent, ProgressSink, RecoveredSubmission,
+    RunSink, StudyResult, TraceConfig, WorkPlan,
 };
 pub use fault::FaultSpec;
 pub use harness::AvDriver;

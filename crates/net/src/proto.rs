@@ -79,6 +79,15 @@ pub enum ServiceRequest {
         /// The plan to cancel.
         plan: PlanId,
     },
+    /// Resume an interrupted plan recovered from the daemon's spool:
+    /// journaled runs are reloaded, only the unjournaled gap re-executes,
+    /// and the final results are byte-identical to an uninterrupted run.
+    /// Idempotent — resuming a plan that is already running or terminal
+    /// just reports its current state.
+    Resume {
+        /// The plan to resume.
+        plan: PlanId,
+    },
     /// Query a plan's lifecycle phase and completion counters.
     Status {
         /// The plan to query.
@@ -98,6 +107,7 @@ impl ServiceRequest {
             ServiceRequest::Results { .. } => "results",
             ServiceRequest::Traces { .. } => "traces",
             ServiceRequest::Cancel { .. } => "cancel",
+            ServiceRequest::Resume { .. } => "resume",
             ServiceRequest::Status { .. } => "status",
             ServiceRequest::Shutdown => "shutdown",
         }
@@ -148,6 +158,18 @@ pub enum ServiceReply {
         /// by flat plan index and sorted by it.
         traces_json: String,
     },
+    /// Acknowledges a resume request: the plan is executing again (or
+    /// was already past the point of needing a resume).
+    Resumed {
+        /// The plan.
+        plan: PlanId,
+        /// Phase after the resume took effect.
+        phase: PlanPhase,
+        /// Runs already recovered from the journal (or finished).
+        completed: usize,
+        /// Total runs in the plan.
+        total: usize,
+    },
     /// Acknowledges a cancel request.
     Cancelled {
         /// The plan.
@@ -186,6 +208,7 @@ impl ServiceReply {
             ServiceReply::WatchEnd { .. } => "watch-end",
             ServiceReply::Results { .. } => "results",
             ServiceReply::Traces { .. } => "traces",
+            ServiceReply::Resumed { .. } => "resumed",
             ServiceReply::Cancelled { .. } => "cancelled",
             ServiceReply::Status { .. } => "status",
             ServiceReply::ShuttingDown => "shutting-down",
@@ -197,19 +220,28 @@ impl ServiceReply {
 /// Lifecycle phase of a submitted plan.
 ///
 /// ```text
-///            ┌─────────► Cancelled ◄──────┐
-///            │                            │
-///  Queued ───┴──► Running ──┬──► Completed
-///                           └──► Failed
+///            ┌──────────────► Cancelled ◄──────┬────────────┐
+///            │                                 │            │
+///  Queued ───┴──► Running ──┬──► Completed     │            │
+///                           └──► Failed        │            │
+///                                              │            │
+///              Interrupted ────► Running ──────┘   (resume) │
+///                    └──────────────────────────────────────┘
 /// ```
 ///
 /// Terminal phases (`Completed`, `Cancelled`, `Failed`) are absorbing.
+/// `Interrupted` is never reached by a live transition — a daemon
+/// restart *recovers* a non-terminal spooled plan into it (via
+/// [`PlanLifecycle::starting_at`]); resuming moves it back to `Running`,
+/// and it can still be cancelled outright.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PlanPhase {
     /// Accepted, no run claimed yet.
     Queued,
     /// At least one run claimed by a worker.
     Running,
+    /// Recovered from a journal with runs still missing; awaiting resume.
+    Interrupted,
     /// Every run finished; results are available.
     Completed,
     /// Cancelled before completion; no results.
@@ -236,6 +268,8 @@ impl PlanPhase {
                 | (PlanPhase::Running, PlanPhase::Completed)
                 | (PlanPhase::Running, PlanPhase::Cancelled)
                 | (PlanPhase::Running, PlanPhase::Failed)
+                | (PlanPhase::Interrupted, PlanPhase::Running)
+                | (PlanPhase::Interrupted, PlanPhase::Cancelled)
         )
     }
 
@@ -244,6 +278,7 @@ impl PlanPhase {
         match self {
             PlanPhase::Queued => "queued",
             PlanPhase::Running => "running",
+            PlanPhase::Interrupted => "interrupted",
             PlanPhase::Completed => "completed",
             PlanPhase::Cancelled => "cancelled",
             PlanPhase::Failed => "failed",
@@ -273,6 +308,13 @@ impl PlanLifecycle {
         PlanLifecycle {
             phase: Some(PlanPhase::Queued),
         }
+    }
+
+    /// A lifecycle starting in an arbitrary phase — used by spool
+    /// recovery, which reloads plans mid-lifecycle (e.g. at
+    /// [`PlanPhase::Interrupted`]) instead of replaying their history.
+    pub fn starting_at(phase: PlanPhase) -> Self {
+        PlanLifecycle { phase: Some(phase) }
     }
 
     /// The current phase.
@@ -338,6 +380,7 @@ mod tests {
             for next in [
                 PlanPhase::Queued,
                 PlanPhase::Running,
+                PlanPhase::Interrupted,
                 PlanPhase::Completed,
                 PlanPhase::Cancelled,
                 PlanPhase::Failed,
@@ -348,6 +391,25 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn interrupted_resumes_or_cancels_only() {
+        let mut l = PlanLifecycle::starting_at(PlanPhase::Interrupted);
+        assert_eq!(l.phase(), PlanPhase::Interrupted);
+        assert!(!l.phase().is_terminal());
+        l.advance(PlanPhase::Running).unwrap();
+        l.advance(PlanPhase::Completed).unwrap();
+
+        let mut l = PlanLifecycle::starting_at(PlanPhase::Interrupted);
+        l.advance(PlanPhase::Cancelled).unwrap();
+
+        let mut l = PlanLifecycle::starting_at(PlanPhase::Interrupted);
+        assert!(l.advance(PlanPhase::Completed).is_err());
+        // A live plan never becomes Interrupted — only recovery starts
+        // a lifecycle there.
+        assert!(!PlanPhase::Running.can_transition(PlanPhase::Interrupted));
+        assert!(!PlanPhase::Queued.can_transition(PlanPhase::Interrupted));
     }
 
     #[test]
@@ -387,6 +449,7 @@ mod tests {
             ServiceRequest::Results { plan: 7 },
             ServiceRequest::Traces { plan: 7 },
             ServiceRequest::Cancel { plan: 7 },
+            ServiceRequest::Resume { plan: 7 },
             ServiceRequest::Status { plan: 7 },
             ServiceRequest::Shutdown,
         ];
@@ -422,6 +485,12 @@ mod tests {
             ServiceReply::Traces {
                 plan: 1,
                 traces_json: "[]".into(),
+            },
+            ServiceReply::Resumed {
+                plan: 1,
+                phase: PlanPhase::Running,
+                completed: 9,
+                total: 12,
             },
             ServiceReply::Cancelled {
                 plan: 1,

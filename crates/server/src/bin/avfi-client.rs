@@ -12,6 +12,9 @@
 //!   (blocks until terminal). The bytes are exactly what the server
 //!   serialized — diffable against `solo` output.
 //! * `traces --plan ID [--out FILE]` — fetch the plan's trace payload.
+//! * `resume --plan ID` — resume an interrupted plan a `--spool` daemon
+//!   recovered after a crash; prints `phase completed/total`. Idempotent
+//!   on running and finished plans.
 //! * `cancel --plan ID` / `status --plan ID` / `shutdown`.
 //! * `run --plan FILE [--trace LEVEL] [--out FILE]` — submit, wait for
 //!   completion, fetch results (the submit/watch/results round trip as
@@ -198,6 +201,14 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, NetError> {
             eprintln!("[avfi-client] plan {id} {phase}");
             Ok(ExitCode::SUCCESS)
         }
+        "resume" => {
+            let id = plan_id(args)?;
+            // Idempotent on the server (a running or finished plan just
+            // reports its state), so a retried resume is safe.
+            let (phase, completed, total) = args.with_retries(|client| client.resume(id))?;
+            println!("{phase} {completed}/{total}");
+            Ok(ExitCode::SUCCESS)
+        }
         "status" => {
             let id = plan_id(args)?;
             let (phase, completed, total) = args.with_retries(|client| client.status(id))?;
@@ -256,6 +267,7 @@ fn usage() -> ExitCode {
          \x20 watch    --plan ID [--from N] [--retry N --backoff MS]\n\
          \x20 results  --plan ID [--out FILE] [--retry N --backoff MS]\n\
          \x20 traces   --plan ID [--out FILE]\n\
+         \x20 resume   --plan ID [--retry N --backoff MS]\n\
          \x20 cancel   --plan ID [--retry N --backoff MS]\n\
          \x20 status   --plan ID [--retry N --backoff MS]\n\
          \x20 run      --plan FILE [--trace LEVEL] [--out FILE]\n\

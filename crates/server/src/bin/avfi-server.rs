@@ -6,7 +6,7 @@
 //! Runs until a client sends a shutdown request.
 //!
 //! Usage: `avfi-server [--addr HOST:PORT] [--workers N] [--addr-file PATH]
-//! [--retain-secs S] [--auth-token SECRET]`
+//! [--retain-secs S] [--auth-token SECRET] [--spool DIR] [--auto-resume]`
 //!
 //! * `--addr` — listen address (default `127.0.0.1:7700`; port 0 picks an
 //!   ephemeral port).
@@ -15,11 +15,19 @@
 //!   listening (how scripts discover an ephemeral port).
 //! * `--retain-secs` — evict finished plans' result/trace payloads after
 //!   this many seconds (default: retain until shutdown). Plan status
-//!   stays queryable after eviction.
+//!   stays queryable after eviction; with `--spool` the plan's journal
+//!   and trace files are deleted too.
 //! * `--auth-token` — require every connection to open with a hello
 //!   frame carrying this shared secret (clients pass `--token`); wrong
 //!   or missing tokens get a protocol error and the connection is
 //!   closed. Default: no authentication.
+//! * `--spool` — write-ahead journal every accepted plan into this
+//!   directory and recover the journals found there on startup: finished
+//!   plans reload fetchable, interrupted plans await `avfi-client
+//!   resume` (or restart immediately with `--auto-resume`). Resumed
+//!   plans produce results byte-identical to an uninterrupted run.
+//! * `--auto-resume` — with `--spool`, re-enter interrupted plans into
+//!   the pool at startup instead of parking them for an explicit resume.
 
 use avfi_server::CampaignServer;
 use std::process::ExitCode;
@@ -30,9 +38,16 @@ fn main() -> ExitCode {
     let mut addr_file: Option<String> = None;
     let mut retain_secs: Option<f64> = None;
     let mut auth_token: Option<String> = None;
+    let mut spool: Option<std::path::PathBuf> = None;
+    let mut auto_resume = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--spool" => match args.next() {
+                Some(d) => spool = Some(d.into()),
+                None => return usage(),
+            },
+            "--auto-resume" => auto_resume = true,
             "--addr" => match args.next() {
                 Some(a) => addr = a,
                 None => return usage(),
@@ -57,12 +72,14 @@ fn main() -> ExitCode {
         }
     }
 
-    let server = match CampaignServer::bind(&addr, workers) {
-        Ok(s) => s
-            .with_retention(retain_secs.map(std::time::Duration::from_secs_f64))
-            .with_auth_token(auth_token),
+    let server = match CampaignServer::bind(&addr, workers).and_then(|s| {
+        s.with_retention(retain_secs.map(std::time::Duration::from_secs_f64))
+            .with_auth_token(auth_token)
+            .with_spool(spool, auto_resume)
+    }) {
+        Ok(s) => s,
         Err(e) => {
-            eprintln!("[avfi-server] cannot bind {addr}: {e}");
+            eprintln!("[avfi-server] cannot start on {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -89,7 +106,7 @@ fn main() -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: avfi-server [--addr HOST:PORT] [--workers N] [--addr-file PATH] \
-         [--retain-secs S] [--auth-token SECRET]"
+         [--retain-secs S] [--auth-token SECRET] [--spool DIR] [--auto-resume]"
     );
     ExitCode::from(2)
 }

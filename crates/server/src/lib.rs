@@ -35,16 +35,19 @@
 #![warn(missing_docs)]
 
 use avfi_core::campaign::{AgentSpec, CampaignConfig};
-use avfi_core::engine::{Engine, MultiplexPool, PlanTicket};
+use avfi_core::engine::{Engine, MultiplexPool, PlanTicket, RecoveredSubmission, RunSink};
 use avfi_core::fault::timing::TimingFault;
 use avfi_core::fault::FaultSpec;
 use avfi_core::{ProgressEvent, StudyResult, WorkPlan};
 use avfi_net::proto::{PlanId, PlanPhase, ServiceReply, ServiceRequest};
 use avfi_net::{NetError, TcpTransport};
 use avfi_sim::scenario::{Scenario, TownSpec};
+use avfi_store::{Journal, JournalRecord, PlanJournal};
 use avfi_trace::{RunTrace, TraceLevel};
 use std::collections::BTreeMap;
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -52,6 +55,26 @@ use std::time::Duration;
 /// Plans the server has accepted, kept until daemon shutdown so results
 /// outlive the submitting connection.
 type Registry = parking_lot::Mutex<BTreeMap<PlanId, PlanTicket>>;
+
+/// Durable-spool state of a daemon running `--spool`: the journal
+/// directory plus the interrupted plans recovered at startup that await
+/// an explicit [`ServiceRequest::Resume`] (a daemon started with
+/// auto-resume has an always-empty map).
+#[derive(Debug)]
+struct SpoolState {
+    dir: PathBuf,
+    resumable: parking_lot::Mutex<BTreeMap<PlanId, ResumableEntry>>,
+}
+
+/// Status snapshot of one interrupted plan; the full state (results,
+/// traces, the journal itself) reloads from disk at resume time.
+#[derive(Debug, Clone, Copy)]
+struct ResumableEntry {
+    /// Runs recovered from the journal.
+    completed: usize,
+    /// Total runs in the plan.
+    total: usize,
+}
 
 /// The campaign daemon: accepts connections, executes submitted plans on
 /// one shared pool, serves progress/results/traces by plan id.
@@ -64,6 +87,7 @@ pub struct CampaignServer {
     shutdown: Arc<AtomicBool>,
     retention: Option<Duration>,
     auth_token: Option<String>,
+    spool: Option<Arc<SpoolState>>,
 }
 
 impl CampaignServer {
@@ -84,7 +108,39 @@ impl CampaignServer {
             shutdown: Arc::new(AtomicBool::new(false)),
             retention: None,
             auth_token: None,
+            spool: None,
         })
+    }
+
+    /// Attaches a durable spool: every accepted plan is write-ahead
+    /// journaled into `dir` (`plan-<id>.avj`, traces under `plan-<id>/`),
+    /// and journals already in `dir` are recovered immediately — terminal
+    /// plans reload as fetchable results, interrupted plans re-enter the
+    /// pool right away when `auto_resume` is set or park until a
+    /// [`ServiceRequest::Resume`] otherwise. `None` (the default) keeps
+    /// all plan state in memory only.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors creating or scanning the spool directory.
+    pub fn with_spool(mut self, dir: Option<PathBuf>, auto_resume: bool) -> Result<Self, NetError> {
+        let Some(dir) = dir else {
+            self.spool = None;
+            return Ok(self);
+        };
+        std::fs::create_dir_all(&dir)?;
+        let state = Arc::new(SpoolState {
+            dir,
+            resumable: parking_lot::Mutex::new(BTreeMap::new()),
+        });
+        let mut max_id = 0;
+        for (id, path) in avfi_store::list_journals(&state.dir)? {
+            max_id = max_id.max(id);
+            recover_journal(&self.pool, &self.registry, &state, id, &path, auto_resume);
+        }
+        self.pool.reserve_plan_ids(max_id);
+        self.spool = Some(state);
+        Ok(self)
     }
 
     /// Limits how long finished plans keep their result and trace
@@ -139,6 +195,7 @@ impl CampaignServer {
             let addr = self.addr;
             let retention = self.retention;
             let auth = self.auth_token.clone();
+            let spool = self.spool.clone();
             // Detached: a handler blocked on an idle client's next request
             // must not delay shutdown; the process owns thread lifetime.
             std::thread::Builder::new()
@@ -152,6 +209,7 @@ impl CampaignServer {
                         addr,
                         retention,
                         auth.as_deref(),
+                        spool.as_deref(),
                     )
                 })
                 .expect("spawn connection handler");
@@ -166,6 +224,7 @@ impl CampaignServer {
 /// Serves one connection: a loop of request/reply exchanges. Returns (and
 /// drops the connection) when the client disconnects or breaks framing;
 /// submitted plans are unaffected either way.
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
     pool: &MultiplexPool,
@@ -174,6 +233,7 @@ fn handle_connection(
     addr: SocketAddr,
     retention: Option<Duration>,
     auth_token: Option<&str>,
+    spool: Option<&SpoolState>,
 ) {
     let Ok(mut transport) = TcpTransport::new(stream) else {
         return;
@@ -187,8 +247,16 @@ fn handle_connection(
             // Disconnect, torn frame, or junk: this client is done.
             Err(_) => return,
         };
-        sweep_expired(registry, retention);
-        let keep_going = serve_request(&mut transport, request, pool, registry, shutdown, addr);
+        sweep_expired(registry, retention, spool);
+        let keep_going = serve_request(
+            &mut transport,
+            request,
+            pool,
+            registry,
+            shutdown,
+            addr,
+            spool,
+        );
         if keep_going.is_err() {
             // The client vanished mid-reply (e.g. dropped during a watch
             // stream); its plans keep running for later retrieval.
@@ -228,6 +296,7 @@ fn authenticate(transport: &mut TcpTransport, auth_token: Option<&str>) -> Resul
 /// Handles one request, sending every reply frame it produces. `Err`
 /// means the *connection* failed; request-level failures are reported to
 /// the client as [`ServiceReply::Error`] and return `Ok`.
+#[allow(clippy::too_many_arguments)]
 fn serve_request(
     transport: &mut TcpTransport,
     request: ServiceRequest,
@@ -235,6 +304,7 @@ fn serve_request(
     registry: &Registry,
     shutdown: &AtomicBool,
     addr: SocketAddr,
+    spool: Option<&SpoolState>,
 ) -> Result<(), NetError> {
     match request {
         // Authenticated connections (and open daemons) answer voluntary
@@ -252,7 +322,15 @@ fn serve_request(
             };
             match serde_json::from_str::<WorkPlan>(&plan_json) {
                 Ok(plan) => {
-                    let ticket = pool.submit_traced(plan, level, 30.0);
+                    let ticket = match spool {
+                        Some(spool) => {
+                            let dir = spool.dir.clone();
+                            pool.submit_spooled(plan, level, 30.0, move |id| {
+                                open_plan_journal(&dir, id, plan_json, level)
+                            })
+                        }
+                        None => pool.submit_traced(plan, level, 30.0),
+                    };
                     registry.lock().insert(ticket.id(), ticket.clone());
                     transport.send_value(&ServiceReply::Submitted {
                         plan: ticket.id(),
@@ -266,6 +344,9 @@ fn serve_request(
         }
         ServiceRequest::Watch { plan, from_event } => {
             let Some(ticket) = lookup(registry, plan) else {
+                if resumable_entry(spool, plan).is_some() {
+                    return send_interrupted(transport, plan);
+                }
                 return send_unknown_plan(transport, plan);
             };
             let mut next = from_event;
@@ -290,6 +371,9 @@ fn serve_request(
         }
         ServiceRequest::Results { plan } => {
             let Some(ticket) = lookup(registry, plan) else {
+                if resumable_entry(spool, plan).is_some() {
+                    return send_interrupted(transport, plan);
+                }
                 return send_unknown_plan(transport, plan);
             };
             if ticket.is_evicted() {
@@ -308,6 +392,9 @@ fn serve_request(
         }
         ServiceRequest::Traces { plan } => {
             let Some(ticket) = lookup(registry, plan) else {
+                if resumable_entry(spool, plan).is_some() {
+                    return send_interrupted(transport, plan);
+                }
                 return send_unknown_plan(transport, plan);
             };
             if ticket.is_evicted() {
@@ -320,13 +407,81 @@ fn serve_request(
         }
         ServiceRequest::Cancel { plan } => {
             let Some(ticket) = lookup(registry, plan) else {
+                if let Some(spool) = spool {
+                    // Atomically claim the interrupted plan out of the
+                    // resumable map; put it back if the cancel fails.
+                    if let Some(entry) = spool.resumable.lock().remove(&plan) {
+                        return match cancel_resumable(pool, spool, plan) {
+                            Some(ticket) => {
+                                registry.lock().insert(plan, ticket.clone());
+                                transport.send_value(&ServiceReply::Cancelled {
+                                    plan,
+                                    phase: ticket.phase(),
+                                })
+                            }
+                            None => {
+                                spool.resumable.lock().insert(plan, entry);
+                                transport.send_value(&ServiceReply::Error {
+                                    message: format!(
+                                        "plan {plan}: cancel failed (journal unreadable)"
+                                    ),
+                                })
+                            }
+                        };
+                    }
+                }
                 return send_unknown_plan(transport, plan);
             };
             let phase = ticket.cancel();
             transport.send_value(&ServiceReply::Cancelled { plan, phase })
         }
+        ServiceRequest::Resume { plan } => {
+            // Idempotent on live and recovered-terminal plans: report the
+            // current state instead of erroring.
+            if let Some(ticket) = lookup(registry, plan) {
+                return transport.send_value(&ServiceReply::Resumed {
+                    plan,
+                    phase: ticket.phase(),
+                    completed: ticket.completed_runs(),
+                    total: ticket.total_runs(),
+                });
+            }
+            let Some(spool) = spool else {
+                return send_unknown_plan(transport, plan);
+            };
+            // Atomically claim the interrupted plan out of the resumable
+            // map; put it back if the resume fails.
+            let Some(entry) = spool.resumable.lock().remove(&plan) else {
+                return send_unknown_plan(transport, plan);
+            };
+            match resume_spooled(pool, spool, plan) {
+                Ok(ticket) => {
+                    registry.lock().insert(plan, ticket.clone());
+                    transport.send_value(&ServiceReply::Resumed {
+                        plan,
+                        phase: ticket.phase(),
+                        completed: ticket.completed_runs(),
+                        total: ticket.total_runs(),
+                    })
+                }
+                Err(e) => {
+                    spool.resumable.lock().insert(plan, entry);
+                    transport.send_value(&ServiceReply::Error {
+                        message: format!("plan {plan}: resume failed: {e}"),
+                    })
+                }
+            }
+        }
         ServiceRequest::Status { plan } => {
             let Some(ticket) = lookup(registry, plan) else {
+                if let Some(entry) = resumable_entry(spool, plan) {
+                    return transport.send_value(&ServiceReply::Status {
+                        plan,
+                        phase: PlanPhase::Interrupted,
+                        completed: entry.completed,
+                        total: entry.total,
+                    });
+                }
                 return send_unknown_plan(transport, plan);
             };
             transport.send_value(&ServiceReply::Status {
@@ -351,8 +506,10 @@ fn serve_request(
 /// has been terminal for longer than `retention`. Runs opportunistically
 /// before each request is served — a daemon receiving no requests hoards
 /// nothing new, so there is no need for a timer thread. Tickets stay in
-/// the registry (status keeps working); only the payloads go.
-fn sweep_expired(registry: &Registry, retention: Option<Duration>) {
+/// the registry (status keeps working); only the payloads go — including
+/// the plan's spooled journal and trace files when a spool is attached,
+/// so eviction reclaims disk as well as memory.
+fn sweep_expired(registry: &Registry, retention: Option<Duration>, spool: Option<&SpoolState>) {
     let Some(retention) = retention else {
         return;
     };
@@ -366,12 +523,226 @@ fn sweep_expired(registry: &Registry, retention: Option<Duration>) {
                 .is_some_and(|age| age >= retention)
         {
             ticket.evict_payloads();
+            if let Some(spool) = spool {
+                let id = ticket.id();
+                let _ = std::fs::remove_file(spool.dir.join(avfi_store::journal_file_name(id)));
+                let _ = std::fs::remove_dir_all(spool.dir.join(avfi_store::trace_dir_name(id)));
+            }
         }
     }
 }
 
+/// Opens the write-ahead journal for a freshly accepted plan (the
+/// [`MultiplexPool::submit_spooled`] factory): creates
+/// `dir/plan-<id>.avj`, writes the [`JournalRecord::PlanSubmitted`]
+/// record, and points trace spooling at `dir/plan-<id>/`. Journal
+/// creation failures degrade to an unspooled plan (reported on stderr) —
+/// the daemon keeps serving rather than rejecting work over disk trouble.
+fn open_plan_journal(
+    dir: &Path,
+    id: PlanId,
+    plan_json: String,
+    level: TraceLevel,
+) -> Option<Arc<dyn RunSink + Send + Sync>> {
+    let path = dir.join(avfi_store::journal_file_name(id));
+    let mut journal = match Journal::create(&path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!(
+                "[avfi-server] spool journal create failed ({}): {e}",
+                path.display()
+            );
+            return None;
+        }
+    };
+    if let Err(e) = journal.append(&JournalRecord::PlanSubmitted {
+        plan_json,
+        trace_level: level.as_str().to_string(),
+    }) {
+        eprintln!(
+            "[avfi-server] spool journal append failed ({}): {e}",
+            path.display()
+        );
+        return None;
+    }
+    let trace_dir = dir.join(avfi_store::trace_dir_name(id));
+    Some(Arc::new(PlanJournal::new(journal, Some(trace_dir))))
+}
+
+/// Recovers one spooled journal at daemon startup: terminal plans reload
+/// into the registry as fetchable state (results assembled from the
+/// journal, byte-identical to the uninterrupted run); interrupted plans
+/// re-enter the pool immediately under `auto_resume`, or park in the
+/// resumable map until a [`ServiceRequest::Resume`] otherwise.
+/// Unrecoverable journals are skipped with a stderr note — recovery
+/// never takes the daemon down.
+fn recover_journal(
+    pool: &MultiplexPool,
+    registry: &Registry,
+    spool: &SpoolState,
+    id: PlanId,
+    path: &Path,
+    auto_resume: bool,
+) {
+    let (records, journal) = match Journal::resume(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "[avfi-server] spool recovery failed ({}): {e}",
+                path.display()
+            );
+            return;
+        }
+    };
+    let Some(rec) = avfi_store::summarize(&records) else {
+        // Header-only or unparseable journal: nothing to reload.
+        return;
+    };
+    let level = TraceLevel::parse(&rec.trace_level).unwrap_or(TraceLevel::Off);
+    let terminal = match rec.terminal.as_deref() {
+        // The journal appends every run record before the terminal one,
+        // so "completed" without full coverage cannot happen through the
+        // ordered path; if a journal claims it anyway, fall through to
+        // interrupted and re-run the gap.
+        Some("completed") if rec.is_complete() => Some(PlanPhase::Completed),
+        Some("cancelled") => Some(PlanPhase::Cancelled),
+        Some("failed") => Some(PlanPhase::Failed),
+        _ => None,
+    };
+    let total = rec.plan.total_runs();
+    if let Some(phase) = terminal {
+        drop(journal); // terminal: nothing more to append; the file stays
+        let traces = load_spooled_traces(&spool.dir, id);
+        let ticket = pool.submit_recovered(RecoveredSubmission {
+            plan: rec.plan,
+            level,
+            blackbox_seconds: 30.0,
+            id,
+            prefilled: rec.completed,
+            traces,
+            terminal: Some(phase),
+            spool: None,
+        });
+        registry.lock().insert(id, ticket);
+    } else if auto_resume {
+        let traces = load_spooled_traces(&spool.dir, id);
+        let trace_dir = spool.dir.join(avfi_store::trace_dir_name(id));
+        let sink = Arc::new(PlanJournal::new(journal, Some(trace_dir)));
+        let ticket = pool.submit_recovered(RecoveredSubmission {
+            plan: rec.plan,
+            level,
+            blackbox_seconds: 30.0,
+            id,
+            prefilled: rec.completed,
+            traces,
+            terminal: None,
+            spool: Some(sink),
+        });
+        registry.lock().insert(id, ticket);
+    } else {
+        drop(journal);
+        spool.resumable.lock().insert(
+            id,
+            ResumableEntry {
+                completed: rec.completed.len(),
+                total,
+            },
+        );
+    }
+}
+
+/// Reloads the `.avtr` traces a spooled plan's runs left in
+/// `spool/plan-<id>/`, keyed by flat plan index. Unreadable files are
+/// skipped — a missing trace never blocks recovery.
+fn load_spooled_traces(dir: &Path, id: PlanId) -> Vec<(usize, RunTrace)> {
+    let trace_dir = dir.join(avfi_store::trace_dir_name(id));
+    let files = avfi_trace::list_trace_files(&trace_dir).unwrap_or_default();
+    files
+        .iter()
+        .filter_map(|p| {
+            let idx: usize = p
+                .file_stem()?
+                .to_str()?
+                .strip_prefix("run-")?
+                .parse()
+                .ok()?;
+            let trace = avfi_trace::read_trace_file(p).ok()?;
+            Some((idx, trace))
+        })
+        .collect()
+}
+
+/// Reloads an interrupted plan from its journal and re-enters it into
+/// the pool: journaled runs prefill their slots, spooled traces
+/// re-attach, and only the unjournaled gap re-executes — with the
+/// reopened journal attached so further progress keeps spooling.
+fn resume_spooled(pool: &MultiplexPool, spool: &SpoolState, id: PlanId) -> io::Result<PlanTicket> {
+    let path = spool.dir.join(avfi_store::journal_file_name(id));
+    let (records, journal) = Journal::resume(&path)?;
+    let rec = avfi_store::summarize(&records).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "journal lost its submission record",
+        )
+    })?;
+    let level = TraceLevel::parse(&rec.trace_level).unwrap_or(TraceLevel::Off);
+    let traces = load_spooled_traces(&spool.dir, id);
+    let trace_dir = spool.dir.join(avfi_store::trace_dir_name(id));
+    let sink = Arc::new(PlanJournal::new(journal, Some(trace_dir)));
+    Ok(pool.submit_recovered(RecoveredSubmission {
+        plan: rec.plan,
+        level,
+        blackbox_seconds: 30.0,
+        id,
+        prefilled: rec.completed,
+        traces,
+        terminal: None,
+        spool: Some(sink),
+    }))
+}
+
+/// Cancels an interrupted (not yet resumed) plan: journals the terminal
+/// record so the cancellation survives restarts, then reloads the plan
+/// as a terminal status-only registry entry. `None` when the journal is
+/// unreadable.
+fn cancel_resumable(pool: &MultiplexPool, spool: &SpoolState, id: PlanId) -> Option<PlanTicket> {
+    let path = spool.dir.join(avfi_store::journal_file_name(id));
+    let (records, mut journal) = Journal::resume(&path).ok()?;
+    let rec = avfi_store::summarize(&records)?;
+    if let Err(e) = journal.append(&JournalRecord::PlanTerminal {
+        phase: "cancelled".into(),
+    }) {
+        eprintln!(
+            "[avfi-server] spool cancel append failed ({}): {e}",
+            path.display()
+        );
+    }
+    drop(journal);
+    let level = TraceLevel::parse(&rec.trace_level).unwrap_or(TraceLevel::Off);
+    Some(pool.submit_recovered(RecoveredSubmission {
+        plan: rec.plan,
+        level,
+        blackbox_seconds: 30.0,
+        id,
+        prefilled: rec.completed,
+        traces: Vec::new(),
+        terminal: Some(PlanPhase::Cancelled),
+        spool: None,
+    }))
+}
+
 fn lookup(registry: &Registry, plan: PlanId) -> Option<PlanTicket> {
     registry.lock().get(&plan).cloned()
+}
+
+fn resumable_entry(spool: Option<&SpoolState>, plan: PlanId) -> Option<ResumableEntry> {
+    spool.and_then(|s| s.resumable.lock().get(&plan).copied())
+}
+
+fn send_interrupted(transport: &mut TcpTransport, plan: PlanId) -> Result<(), NetError> {
+    transport.send_value(&ServiceReply::Error {
+        message: format!("plan {plan} is interrupted (recovered from the spool); resume it first"),
+    })
 }
 
 fn send_evicted(transport: &mut TcpTransport, plan: PlanId) -> Result<(), NetError> {
@@ -570,6 +941,26 @@ impl ServiceClient {
     pub fn cancel(&mut self, plan: PlanId) -> Result<PlanPhase, NetError> {
         match self.request(&ServiceRequest::Cancel { plan })? {
             ServiceReply::Cancelled { phase, .. } => Ok(phase),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Resumes an interrupted plan recovered from the daemon's spool;
+    /// returns `(phase, completed, total)` after the resume took effect.
+    /// Idempotent on plans that are already running or terminal.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`NetError::Protocol`] for unknown plans
+    /// and unreadable journals.
+    pub fn resume(&mut self, plan: PlanId) -> Result<(PlanPhase, usize, usize), NetError> {
+        match self.request(&ServiceRequest::Resume { plan })? {
+            ServiceReply::Resumed {
+                phase,
+                completed,
+                total,
+                ..
+            } => Ok((phase, completed, total)),
             other => Err(Self::fail(other)),
         }
     }

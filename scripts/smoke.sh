@@ -23,6 +23,10 @@
 # with avfi-client, and asserts the served results are byte-identical to a
 # solo engine run and to the checked-in golden, then shuts it down cleanly.
 #
+# A store tier SIGKILLs a --spool daemon mid-plan, restarts it over the
+# same spool directory, resumes the interrupted plan, and asserts the
+# resumed results are byte-identical to an uninterrupted solo run.
+#
 # Usage: scripts/smoke.sh [--bless]
 #   --bless   regenerate the goldens instead of diffing against them
 #
@@ -208,6 +212,95 @@ else
     cat "$SERVER_DIR/server.stdout" >&2
     fail=1
   fi
+fi
+
+# Store tier: kill-and-resume durability, end to end. A daemon with a
+# --spool directory takes an enlarged demo plan (200 runs), is SIGKILLed
+# mid-plan, restarts over the same spool, resumes the interrupted plan on
+# request, and must serve results byte-identical to a solo engine run of
+# the same plan — no golden re-blessing, the solo run IS the reference.
+# The stock demo plan then runs through the spooled daemon and is diffed
+# against the existing server golden, proving journaling never changes
+# served bytes.
+STORE_DIR="$SMOKE_DIR/store"
+SPOOL_DIR="$STORE_DIR/spool"
+STORE_ADDR_FILE="$STORE_DIR/addr"
+mkdir -p "$SPOOL_DIR"
+echo "==> smoke: store tier (kill -9 mid-plan, restart, resume)"
+target/release/avfi-client demo-plan --out "$STORE_DIR/plan.json"
+sed 's/"runs_per_scenario": 1/"runs_per_scenario": 50/' \
+  "$STORE_DIR/plan.json" >"$STORE_DIR/big-plan.json"
+target/release/avfi-server --addr 127.0.0.1:0 --workers 2 \
+  --spool "$SPOOL_DIR" --addr-file "$STORE_ADDR_FILE" \
+  >"$STORE_DIR/server1.stdout" 2>&1 &
+STORE_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$STORE_ADDR_FILE" ]] && break
+  sleep 0.1
+done
+if [[ ! -s "$STORE_ADDR_FILE" ]]; then
+  echo "smoke FAIL: spooled avfi-server never wrote its address file" >&2
+  kill "$STORE_PID" 2>/dev/null || true
+  fail=1
+else
+  STORE_ADDR=$(cat "$STORE_ADDR_FILE")
+  PLAN_ID=$(target/release/avfi-client submit --addr "$STORE_ADDR" \
+    --plan "$STORE_DIR/big-plan.json" 2>>"$STORE_DIR/client.stderr")
+  # Wait until at least one run is journaled, then kill the daemon hard.
+  for _ in $(seq 1 200); do
+    STATUS=$(target/release/avfi-client status --addr "$STORE_ADDR" \
+      --plan "$PLAN_ID" 2>/dev/null || true)
+    done_runs=${STATUS#* }
+    done_runs=${done_runs%%/*}
+    [[ "${done_runs:-0}" =~ ^[0-9]+$ ]] && [[ "$done_runs" -ge 1 ]] && break
+    sleep 0.05
+  done
+  kill -9 "$STORE_PID"
+  wait "$STORE_PID" 2>/dev/null || true
+  echo "==> smoke: daemon killed at [$STATUS]; restarting over the spool"
+  rm -f "$STORE_ADDR_FILE"
+  target/release/avfi-server --addr 127.0.0.1:0 --workers 2 \
+    --spool "$SPOOL_DIR" --addr-file "$STORE_ADDR_FILE" \
+    >"$STORE_DIR/server2.stdout" 2>&1 &
+  STORE_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$STORE_ADDR_FILE" ]] && break
+    sleep 0.1
+  done
+  STORE_ADDR=$(cat "$STORE_ADDR_FILE")
+  # Resume is idempotent: if the plan happened to finish before the kill,
+  # the restarted daemon reloads it terminal and this just reports it.
+  if ! target/release/avfi-client resume --addr "$STORE_ADDR" --plan "$PLAN_ID" \
+      >>"$STORE_DIR/client.stdout" 2>>"$STORE_DIR/client.stderr"; then
+    echo "smoke FAIL: avfi-client resume failed after daemon restart" >&2
+    fail=1
+  fi
+  if ! target/release/avfi-client results --addr "$STORE_ADDR" --plan "$PLAN_ID" \
+      --out "$STORE_DIR/resumed.json" >>"$STORE_DIR/client.stdout"; then
+    echo "smoke FAIL: could not fetch resumed results" >&2
+    fail=1
+  fi
+  target/release/avfi-client solo --plan "$STORE_DIR/big-plan.json" \
+    --out "$STORE_DIR/solo-big.json" >>"$STORE_DIR/client.stdout"
+  if ! diff -u "$STORE_DIR/solo-big.json" "$STORE_DIR/resumed.json"; then
+    echo "smoke FAIL: resumed results differ from the uninterrupted solo run" >&2
+    fail=1
+  fi
+  echo "==> smoke: stock demo plan through the spooled daemon"
+  if ! target/release/avfi-client run --addr "$STORE_ADDR" \
+      --plan "$STORE_DIR/plan.json" --out "$STORE_DIR/spooled-demo.json" \
+      >>"$STORE_DIR/client.stdout"; then
+    echo "smoke FAIL: avfi-client run failed against the spooled daemon" >&2
+    fail=1
+  fi
+  if [[ "$BLESS" != 1 ]] && \
+      ! diff -u "$GOLDEN_DIR/avfi_server_demo.json" "$STORE_DIR/spooled-demo.json"; then
+    echo "smoke FAIL: spooled daemon served different demo bytes than the golden" >&2
+    fail=1
+  fi
+  target/release/avfi-client shutdown --addr "$STORE_ADDR" \
+    >>"$STORE_DIR/client.stdout" || true
+  wait "$STORE_PID" 2>/dev/null || true
 fi
 
 # Density tier: one high-density campaign (60 NPCs + 60 pedestrians with
